@@ -1,0 +1,409 @@
+package fairness_test
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the analysis), plus component-level and ablation benchmarks for the
+// design choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bayes"
+	"repro/internal/census"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mechanism"
+	"repro/internal/repair"
+	"repro/internal/resample"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// BenchmarkFigure2 regenerates the Figure 2 worked example: Gaussian
+// threshold mechanism, probability tables and ε.
+func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the Simpson's-paradox analysis of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the full-scale Table 2 subset ladder,
+// including synthesizing the 32,561-row census train split.
+func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(census.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Analysis isolates the ε computation of Table 2 from
+// data synthesis: subset marginalization + Eq. 6 over fixed counts.
+func BenchmarkTable2Analysis(b *testing.B) {
+	train, _, err := census.Generate(census.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EpsilonSubsetsCounts(counts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates a reduced Table 3: the full 8-configuration
+// logistic-regression sweep on a smaller census (the full-scale sweep is
+// run by cmd/dfexperiments; at bench scale the shape is identical).
+func BenchmarkTable3(b *testing.B) {
+	cfg := experiments.Table3Config{
+		Census:   census.Config{TrainN: 4000, TestN: 2000, Seed: 58},
+		Logistic: classify.LogisticConfig{Epochs: 40, LearningRate: 0.8, L2: 1e-4, Momentum: 0.9},
+		Alpha:    1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainLogistic isolates Table 3's training cost on the
+// realistic census feature matrix.
+func BenchmarkTrainLogistic(b *testing.B) {
+	train, _, err := census.Generate(census.Config{TrainN: 8000, TestN: 1, Seed: 58})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, _, err := census.Dataset(train, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := classify.LogisticConfig{Epochs: 50, LearningRate: 0.8, L2: 1e-4, Momentum: 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.TrainLogistic(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainFairLogistic measures the overhead of the DF
+// regularizer relative to BenchmarkTrainLogistic.
+func BenchmarkTrainFairLogistic(b *testing.B) {
+	train, _, err := census.Generate(census.Config{TrainN: 8000, TestN: 1, Seed: 58})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, _, err := census.Dataset(train, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := census.Groups(train)
+	cfg := classify.FairLogisticConfig{
+		LogisticConfig: classify.LogisticConfig{Epochs: 50, LearningRate: 0.8, L2: 1e-4},
+		Lambda:         30,
+		Groups:         groups,
+		NumGroups:      census.Space().Size(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.TrainFairLogistic(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCensusGenerate measures the synthetic-census substrate at the
+// paper's full scale.
+func BenchmarkCensusGenerate(b *testing.B) {
+	cfg := census.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := census.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpsilonBySpaceSize is the ablation for the ε computation's
+// scaling in the number of intersectional groups (|A| = 2^p).
+func BenchmarkEpsilonBySpaceSize(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		attrs := make([]core.Attr, p)
+		for i := range attrs {
+			attrs[i] = core.Attr{Name: fmt.Sprintf("a%d", i), Values: []string{"0", "1"}}
+		}
+		space := core.MustSpace(attrs...)
+		cpt := core.MustCPT(space, []string{"no", "yes"})
+		r := rng.New(1)
+		for g := 0; g < space.Size(); g++ {
+			p1 := 0.1 + 0.8*r.Float64()
+			cpt.MustSetRow(g, 1, 1-p1, p1)
+		}
+		b.Run(fmt.Sprintf("attrs=%d_groups=%d", p, space.Size()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Epsilon(cpt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarginalize is the ablation for subset aggregation (the
+// Theorem 3.2 machinery) on an 8-attribute space.
+func BenchmarkMarginalize(b *testing.B) {
+	attrs := make([]core.Attr, 8)
+	for i := range attrs {
+		attrs[i] = core.Attr{Name: fmt.Sprintf("a%d", i), Values: []string{"0", "1"}}
+	}
+	space := core.MustSpace(attrs...)
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	r := rng.New(2)
+	for g := 0; g < space.Size(); g++ {
+		p1 := 0.1 + 0.8*r.Float64()
+		cpt.MustSetRow(g, 0.5+r.Float64(), 1-p1, p1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpt.Marginalize("a0", "a3", "a6"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmoothedVsEmpirical compares the two estimators' costs
+// (Eq. 6 vs Eq. 7) on census-scale counts.
+func BenchmarkSmoothedVsEmpirical(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("empirical", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = counts.Empirical()
+		}
+	})
+	b.Run("smoothed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := counts.Smoothed(1, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBayesPosterior measures posterior sampling for the credible-
+// interval analysis (100 Θ samples per iteration).
+func BenchmarkBayesPosterior(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := bayes.NewDirichletMultinomial(counts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SamplePosterior(100, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaplaceSweep measures the §3.2 noise-route ablation (numeric
+// integration of the noisy threshold).
+func BenchmarkLaplaceSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LaplaceSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomizedResponse measures the §3.3 calibration experiment.
+func BenchmarkRandomizedResponse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RandomizedResponse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAliasSampler is the substrate ablation behind the census
+// generator's categorical draws: alias method vs linear scan.
+func BenchmarkAliasSampler(b *testing.B) {
+	weights := make([]float64, 64)
+	r := rng.New(4)
+	for i := range weights {
+		weights[i] = r.Float64()
+	}
+	alias := rng.NewAlias(weights)
+	b.Run("alias", func(b *testing.B) {
+		rr := rng.New(5)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = alias.Sample(rr)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		rr := rng.New(5)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = rr.Categorical(weights)
+		}
+	})
+}
+
+// BenchmarkFig2Mechanism measures the exact (closed-form) threshold CPT
+// construction used throughout the worked examples.
+func BenchmarkFig2Mechanism(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = mechanism.Fig2CPT()
+	}
+}
+
+// BenchmarkRepair measures the minimal-movement repair optimizer on the
+// 16-group census prediction CPT.
+func BenchmarkRepair(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpt, err := counts.Smoothed(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repair.Binary(cpt, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootstrap measures the ε bootstrap at 100 replicates over the
+// small census table.
+func BenchmarkBootstrap(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resample.EpsilonBootstrap(counts, 1, 100, 0.95, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorObserve measures the streaming monitor's per-decision
+// cost (O(1) amortized).
+func BenchmarkMonitorObserve(b *testing.B) {
+	m, err := stream.NewMonitor(census.Space(), census.IncomeValues, 5000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(9)
+	groups := make([]int, 4096)
+	outcomes := make([]int, 4096)
+	for i := range groups {
+		groups[i] = r.Intn(16)
+		outcomes[i] = r.Intn(2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Observe(groups[i%4096], outcomes[i%4096]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEqualizedOdds measures the §7.1 conditional-DF computation on
+// labeled census predictions.
+func BenchmarkEqualizedOdds(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := census.Space()
+	groups := census.Groups(train)
+	ys := make([]int, len(train))
+	preds := make([]int, len(train))
+	r := rng.New(10)
+	for i, p := range train {
+		ys[i] = p.Income
+		preds[i] = p.Income
+		if r.Float64() < 0.15 {
+			preds[i] = 1 - preds[i]
+		}
+	}
+	labeled, err := core.FromLabeledObservations(space, census.IncomeValues,
+		[]string{"p0", "p1"}, groups, ys, preds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EqualizedOddsEpsilon(labeled, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

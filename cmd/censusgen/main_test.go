@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rows.csv")
+	if err := run([]string{"-n", "500", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 501 { // header + rows
+		t.Fatalf("wrote %d lines, want 501", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "gender,race,nationality") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunSplit(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "adult")
+	// Use the full default sizes? Too slow is fine (~20ms gen); but write
+	// a smaller set via -n is ignored with -split, so just run it.
+	if err := run([]string{"-split", "-seed", "58", "-o", prefix}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{prefix + "_train.csv", prefix + "_test.csv"} {
+		info, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() < 1000 {
+			t.Fatalf("%s suspiciously small", name)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-split"}); err == nil {
+		t.Error("-split without -o accepted")
+	}
+	if err := run([]string{"-n", "0", "-o", "/tmp/x.csv"}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-n", "10", "-o", "/nonexistent-dir/x.csv"}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	if err := run([]string{"-n", "200", "-seed", "9", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "200", "-seed", "9", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different CSVs")
+	}
+}

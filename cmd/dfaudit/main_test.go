@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmbeddedDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dataset", "admissions", "-bootstrap", "100", "-repair", "0.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1.5110", "gender,race", "repair proposal", "bootstrap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	csv := "sex,grp,decision\n" +
+		strings.Repeat("m,x,yes\n", 60) + strings.Repeat("m,x,no\n", 40) +
+		strings.Repeat("f,x,yes\n", 20) + strings.Repeat("f,x,no\n", 80) +
+		strings.Repeat("m,y,yes\n", 50) + strings.Repeat("m,y,no\n", 50) +
+		strings.Repeat("f,y,yes\n", 30) + strings.Repeat("f,y,no\n", 70)
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-data", path, "-protected", "sex,grp", "-outcome", "decision"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "400 observations") {
+		t.Errorf("output missing observation count:\n%s", out)
+	}
+	if !strings.Contains(out, "sex,grp") {
+		t.Errorf("output missing subset row:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no input source accepted")
+	}
+	if err := run([]string{"-dataset", "nope"}, &buf); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-data", "/nonexistent.csv", "-protected", "a", "-outcome", "b"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-data", "/dev/null"}, &buf); err == nil {
+		t.Error("missing -protected/-outcome accepted")
+	}
+}
+
+func TestRunRejectsNumericProtectedColumn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	csv := "age,decision\n30,yes\n40,no\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-data", path, "-protected", "age", "-outcome", "decision"}, &buf); err == nil {
+		t.Error("numeric protected column accepted")
+	}
+}
+
+func TestRunRejectsSingleValuedOutcome(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	csv := "g,decision\na,yes\nb,yes\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-data", path, "-protected", "g", "-outcome", "decision"}, &buf)
+	if err == nil {
+		t.Error("single-valued outcome accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Command dfexperiments regenerates every table and figure of the
+// paper's evaluation, printing measured values next to the paper's
+// reported ones. See EXPERIMENTS.md for the committed output.
+//
+// Usage:
+//
+//	dfexperiments                 # run everything at full scale
+//	dfexperiments -run fig2,table1
+//	dfexperiments -small          # reduced census for quick runs
+//
+// Experiments: fig2, table1, table2, table3, rr, smoothing, credible,
+// regularizer, laplace, metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/census"
+	"repro/internal/classify"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dfexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+var allExperiments = []string{
+	"fig2", "table1", "table2", "table3", "rr",
+	"smoothing", "credible", "regularizer", "laplace", "metrics",
+	"eqodds", "repair", "scoredf",
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dfexperiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiments, or 'all'")
+	small := fs.Bool("small", false, "use a reduced census for quick runs")
+	figures := fs.String("figures", "", "also write SVG figures to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	censusCfg := census.DefaultConfig()
+	logistic := classify.LogisticConfig{Epochs: 200, LearningRate: 0.8, L2: 1e-4, Momentum: 0.9}
+	if *small {
+		censusCfg = census.SmallConfig()
+		logistic.Epochs = 80
+	}
+
+	if *figures != "" {
+		paths, err := experiments.WriteFigures(*figures, censusCfg, logistic)
+		if err != nil {
+			return fmt.Errorf("figures: %w", err)
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+	}
+
+	selected := allExperiments
+	if *runList != "all" {
+		selected = strings.Split(*runList, ",")
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		out, err := runOne(name, censusCfg, logistic)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println("=== " + name + " ===")
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func runOne(name string, censusCfg census.Config, logistic classify.LogisticConfig) (string, error) {
+	switch name {
+	case "fig2":
+		r, err := experiments.Figure2()
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "table1":
+		r, err := experiments.Table1()
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "table2":
+		r, err := experiments.Table2(censusCfg)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "table3":
+		r, err := experiments.Table3(experiments.Table3Config{
+			Census: censusCfg, Logistic: logistic, Alpha: 1,
+		})
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "rr":
+		r, err := experiments.RandomizedResponse()
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "smoothing":
+		r, err := experiments.SmoothingSweep(censusCfg)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "credible":
+		r, err := experiments.CredibleInterval(censusCfg, 500, 7)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "regularizer":
+		r, err := experiments.RegularizerSweep(censusCfg, logistic, []float64{0, 5, 15, 30, 60})
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "laplace":
+		r, err := experiments.LaplaceSweep()
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "metrics":
+		r, err := experiments.MetricComparison(censusCfg, logistic)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "eqodds":
+		r, err := experiments.EqualizedOdds(censusCfg, logistic)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "repair":
+		r, err := experiments.RepairSweep(censusCfg, logistic, []float64{1.5, 1.0, 0.5, 0.1})
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	case "scoredf":
+		r, err := experiments.ScoreDF(censusCfg, logistic)
+		if err != nil {
+			return "", err
+		}
+		return r.String(), nil
+	}
+	return "", fmt.Errorf("unknown experiment (have %s)", strings.Join(allExperiments, ", "))
+}

@@ -1,0 +1,125 @@
+package fairness_test
+
+import (
+	"fmt"
+
+	fairness "repro"
+)
+
+// ExampleEpsilon measures the differential fairness of the paper's
+// Table 1 admissions data at the intersection of gender and race.
+func ExampleEpsilon() {
+	space := fairness.MustSpace(
+		fairness.Attr{Name: "gender", Values: []string{"A", "B"}},
+		fairness.Attr{Name: "race", Values: []string{"1", "2"}},
+	)
+	counts := fairness.MustCounts(space, []string{"decline", "admit"})
+	add := func(gender, race int, admitted, total float64) {
+		idx := space.MustIndex(gender, race)
+		_ = counts.Add(idx, 1, admitted)
+		_ = counts.Add(idx, 0, total-admitted)
+	}
+	add(0, 0, 81, 87)
+	add(1, 0, 234, 270)
+	add(0, 1, 192, 263)
+	add(1, 1, 55, 80)
+
+	eps := fairness.MustEpsilon(counts.Empirical())
+	fmt.Printf("eps = %.3f\n", eps.Epsilon)
+	fmt.Printf("witness outcome: %s\n", counts.Outcomes()[eps.Witness.Outcome])
+	// Output:
+	// eps = 1.511
+	// witness outcome: decline
+}
+
+// ExampleEpsilonSubsetsCounts shows the Theorem 3.2 guarantee: every
+// subset of the protected attributes is at most 2ε-fair.
+func ExampleEpsilonSubsetsCounts() {
+	space := fairness.MustSpace(
+		fairness.Attr{Name: "gender", Values: []string{"A", "B"}},
+		fairness.Attr{Name: "race", Values: []string{"1", "2"}},
+	)
+	counts := fairness.MustCounts(space, []string{"decline", "admit"})
+	add := func(gender, race int, admitted, total float64) {
+		idx := space.MustIndex(gender, race)
+		_ = counts.Add(idx, 1, admitted)
+		_ = counts.Add(idx, 0, total-admitted)
+	}
+	add(0, 0, 81, 87)
+	add(1, 0, 234, 270)
+	add(0, 1, 192, 263)
+	add(1, 1, 55, 80)
+
+	subs, _ := fairness.EpsilonSubsetsCounts(counts, 0)
+	for _, s := range subs {
+		fmt.Printf("%-12s %.4f\n", s.Key(), s.Result.Epsilon)
+	}
+	// Output:
+	// gender       0.2329
+	// race         0.8667
+	// gender,race  1.5110
+}
+
+// ExampleInterpret reads a measured ε on the paper's §3.3 scale.
+func ExampleInterpret() {
+	i := fairness.Interpret(0.7)
+	fmt.Printf("max utility disparity: %.2fx\n", i.MaxUtilityFactor)
+	fmt.Printf("high-fairness regime: %v\n", i.HighFairnessRegime)
+	fmt.Printf("beats randomized response: %v\n", i.StrongerThanRandomizedResponse)
+	// Output:
+	// max utility disparity: 2.01x
+	// high-fairness regime: true
+	// beats randomized response: true
+}
+
+// ExampleCounts_Smoothed contrasts the empirical estimator (which
+// diverges on a zero cell) with the Eq. 7 smoothed estimator.
+func ExampleCounts_Smoothed() {
+	space := fairness.MustSpace(fairness.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts := fairness.MustCounts(space, []string{"no", "yes"})
+	_ = counts.Add(0, 0, 10) // group a: 10 no, 0 yes
+	_ = counts.Add(1, 0, 5)
+	_ = counts.Add(1, 1, 5)
+
+	emp := fairness.MustEpsilon(counts.Empirical())
+	fmt.Printf("empirical finite: %v\n", emp.Finite)
+
+	sm, _ := counts.Smoothed(1, false)
+	smoothed := fairness.MustEpsilon(sm)
+	fmt.Printf("smoothed eps = %.3f\n", smoothed.Epsilon)
+	// Output:
+	// empirical finite: false
+	// smoothed eps = 1.792
+}
+
+// ExampleEqualizedOddsEpsilon measures the equalized-odds analogue of
+// DF (the paper's §7.1 extension) on classifier predictions.
+func ExampleEqualizedOddsEpsilon() {
+	space := fairness.MustSpace(fairness.Attr{Name: "g", Values: []string{"a", "b"}})
+	labeled, _ := fairness.NewLabeledCounts(space,
+		[]string{"neg", "pos"}, []string{"pred0", "pred1"})
+	// Group a: TPR 0.8, group b: TPR 0.4 (equal FPRs).
+	observe := func(g, label, pred, n int) {
+		for i := 0; i < n; i++ {
+			_ = labeled.Observe(g, label, pred)
+		}
+	}
+	observe(0, 1, 1, 40)
+	observe(0, 1, 0, 10)
+	observe(0, 0, 1, 10)
+	observe(0, 0, 0, 40)
+	observe(1, 1, 1, 20)
+	observe(1, 1, 0, 30)
+	observe(1, 0, 1, 10)
+	observe(1, 0, 0, 40)
+
+	res, _ := fairness.EqualizedOddsEpsilon(labeled, 0)
+	fmt.Printf("equalized-odds eps = %.3f\n", res.Epsilon)
+	for _, s := range res.PerLabel {
+		fmt.Printf("  stratum %-4s %.3f\n", s.Label, s.Result.Epsilon)
+	}
+	// Output:
+	// equalized-odds eps = 1.099
+	//   stratum neg  0.000
+	//   stratum pos  1.099
+}

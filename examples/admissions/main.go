@@ -1,0 +1,71 @@
+// Admissions walks through the paper's Section 5.1 Simpson's-paradox
+// example: a university that favors gender A within every race yet
+// favors gender B overall, and how differential fairness behaves across
+// measurement granularities.
+//
+//	go run ./examples/admissions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairness "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	counts := datasets.Admissions()
+	space := counts.Space()
+	emp := counts.Empirical()
+
+	fmt.Println("University X admissions (paper Table 1):")
+	fmt.Printf("%-10s %-12s %-12s\n", "", "gender A", "gender B")
+	for race := 0; race < 2; race++ {
+		a := emp.Prob(space.MustIndex(0, race), 1)
+		b := emp.Prob(space.MustIndex(1, race), 1)
+		fmt.Printf("race %-5d %-12.4f %-12.4f\n", race+1, a, b)
+	}
+	gender, err := counts.Marginalize("gender")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gEmp := gender.Empirical()
+	fmt.Printf("%-10s %-12.4f %-12.4f\n", "overall", gEmp.Prob(0, 1), gEmp.Prob(1, 1))
+
+	// The reversal: A wins within each race, B wins overall.
+	revs, err := fairness.DetectSimpsonReversals(counts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range revs {
+		if r.Attr != "gender" {
+			continue
+		}
+		fmt.Printf("\nSimpson reversal detected: gender %s is admitted more often overall\n", r.ValueHi)
+		fmt.Printf("(by %.4f), yet gender %s wins within every race stratum.\n", r.AggregateDiff, r.ValueLo)
+	}
+
+	// Differential fairness at each granularity.
+	full := fairness.MustEpsilon(emp)
+	gEps := fairness.MustEpsilon(gEmp)
+	race, err := counts.Marginalize("race")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rEps := fairness.MustEpsilon(race.Empirical())
+	fmt.Printf("\neps(gender x race) = %.4f   (paper: 1.511)\n", full.Epsilon)
+	fmt.Printf("eps(gender)        = %.4f   (paper: 0.2329)\n", gEps.Epsilon)
+	fmt.Printf("eps(race)          = %.4f   (paper: 0.8667)\n", rEps.Epsilon)
+
+	// Theorem 3.1's promise: aggregation can never more than double eps,
+	// even through a Simpson reversal.
+	bound := fairness.SubsetBound(full)
+	fmt.Printf("\nTheorem 3.1 bound: every subset is at most 2*eps = %.4f-DF\n", bound)
+	if gEps.Epsilon <= bound && rEps.Epsilon <= bound {
+		fmt.Println("verified: the reversal did not break the subset guarantee.")
+	}
+	fmt.Println("\nreading (paper section 5.1): ensuring intersectional fairness also")
+	fmt.Println("ensures a similar degree of fairness for each attribute alone —")
+	fmt.Println("even when the direction of bias flips with measurement granularity.")
+}

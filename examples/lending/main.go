@@ -1,0 +1,64 @@
+// Lending demonstrates the privacy interpretation of differential
+// fairness (paper sections 3.2 and 3.3): an untrusted vendor who sees
+// only loan decisions learns almost nothing about applicants' protected
+// attributes, and ε translates into an expected-utility guarantee.
+//
+//	go run ./examples/lending
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	fairness "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	counts := datasets.Lending()
+	space := counts.Space()
+	cpt := counts.Empirical()
+	eps := fairness.MustEpsilon(cpt)
+
+	fmt.Println("Loan approval rates per intersection:")
+	for g := 0; g < space.Size(); g++ {
+		fmt.Printf("  %-28s %.3f\n", space.Label(g), cpt.Prob(g, 1))
+	}
+	fmt.Printf("\neps = %.4f (ln 3 = %.4f — the randomized-response calibration point)\n",
+		eps.Epsilon, math.Log(3))
+
+	// Utility guarantee (Eq. 5): for ANY non-negative utility over
+	// outcomes, expected utilities across groups differ by at most e^eps.
+	utility := []float64{0, 1} // being approved is worth 1
+	disparity, err := fairness.UtilityDisparity(cpt, utility)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexpected-utility disparity: %.2fx (bound e^eps = %.2fx)\n",
+		disparity, math.Exp(eps.Epsilon))
+	fmt.Println("paper section 3.3: a ln(3)-DF process can award white men three")
+	fmt.Println("times the expected utility of white women — exactly what happens here.")
+
+	// Privacy guarantee (Eq. 4): the vendor's posterior about the
+	// applicant's protected attributes moves by at most e^±eps.
+	fmt.Println("\nuntrusted-vendor view: posterior odds after observing an approval")
+	prior := []float64{0.3, 0.2, 0.3, 0.2} // vendor's prior over intersections
+	wm := space.MustIndex(0, 0)
+	ww := space.MustIndex(1, 0)
+	priorOdds, postOdds, err := fairness.PosteriorOdds(cpt, prior, 1, wm, ww)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  odds(white man : white woman) prior %.3f -> posterior %.3f\n", priorOdds, postOdds)
+	fmt.Printf("  Eq. 4 bound: posterior within [%.3f, %.3f]\n",
+		priorOdds*math.Exp(-eps.Epsilon), priorOdds*math.Exp(eps.Epsilon))
+	if err := fairness.CheckPosteriorOddsBound(cpt, prior, eps.Epsilon); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  verified for every outcome and every pair of groups.")
+
+	fmt.Println("\nreading: at eps ~ 1.1 an adversary's beliefs can shift by ~3x —")
+	fmt.Println("weak protection. In the high-fairness regime (eps < 1) the shift is")
+	fmt.Println("bounded by e < 2.72x, and at eps = 0 outcomes reveal nothing at all.")
+}

@@ -1,0 +1,149 @@
+package fairness_test
+
+import (
+	"math"
+	"testing"
+
+	fairness "repro"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package
+// documentation advertises.
+func TestFacadeEndToEnd(t *testing.T) {
+	space, err := fairness.NewSpace(
+		fairness.Attr{Name: "gender", Values: []string{"M", "F"}},
+		fairness.Attr{Name: "race", Values: []string{"white", "black"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := fairness.NewCounts(space, []string{"deny", "approve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(g, r int, approved, denied float64) {
+		idx := space.MustIndex(g, r)
+		if err := counts.Add(idx, 1, approved); err != nil {
+			t.Fatal(err)
+		}
+		if err := counts.Add(idx, 0, denied); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 0, 60, 40)
+	add(0, 1, 40, 60)
+	add(1, 0, 20, 80)
+	add(1, 1, 25, 75)
+
+	eps, err := fairness.Epsilon(counts.Empirical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.6 / 0.2) // approve: white men 0.6 vs white women 0.2
+	if math.Abs(eps.Epsilon-want) > 1e-12 {
+		t.Fatalf("epsilon = %v, want %v", eps.Epsilon, want)
+	}
+
+	subs, err := fairness.EpsilonSubsetsCounts(counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("subsets = %d", len(subs))
+	}
+	fairness.SortSubsetsByEpsilon(subs)
+	bound := fairness.SubsetBound(eps)
+	for _, s := range subs {
+		if s.Result.Epsilon > bound+1e-12 {
+			t.Fatalf("subset %v exceeds 2eps", s.Attrs)
+		}
+	}
+
+	// Privacy and utility interpretations.
+	cpt := counts.Empirical()
+	prior := make([]float64, space.Size())
+	for i := range prior {
+		prior[i] = 0.25
+	}
+	if err := fairness.CheckPosteriorOddsBound(cpt, prior, eps.Epsilon); err != nil {
+		t.Fatalf("Eq.4 check failed: %v", err)
+	}
+	d, err := fairness.UtilityDisparity(cpt, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > math.Exp(eps.Epsilon)+1e-12 {
+		t.Fatalf("utility disparity %v exceeds e^eps", d)
+	}
+	interp := fairness.Interpret(eps.Epsilon)
+	if interp.HighFairnessRegime {
+		t.Fatal("eps > 1 flagged as high fairness")
+	}
+
+	// Bias amplification of a hypothetical downstream mechanism.
+	amp := fairness.BiasAmplification(fairness.EpsilonResult{Epsilon: eps.Epsilon + 0.2}, eps)
+	if math.Abs(amp-0.2) > 1e-12 {
+		t.Fatalf("amplification = %v", amp)
+	}
+}
+
+func TestFacadeObservationsAndSmoothing(t *testing.T) {
+	space := fairness.MustSpace(fairness.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts, err := fairness.FromObservations(space, []string{"no", "yes"},
+		[]int{0, 0, 0, 1, 1, 1}, []int{1, 1, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group b never receives "yes": empirical ε is infinite.
+	emp, err := fairness.Epsilon(counts.Empirical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Finite {
+		t.Fatal("expected infinite empirical epsilon")
+	}
+	sm, err := counts.Smoothed(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smEps, err := fairness.Epsilon(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smEps.Finite {
+		t.Fatal("smoothed epsilon should be finite")
+	}
+}
+
+func TestFacadeSimpson(t *testing.T) {
+	space := fairness.MustSpace(
+		fairness.Attr{Name: "gender", Values: []string{"A", "B"}},
+		fairness.Attr{Name: "race", Values: []string{"1", "2"}},
+	)
+	counts := fairness.MustCounts(space, []string{"decline", "admit"})
+	cells := []struct {
+		g, r     int
+		adm, tot float64
+	}{
+		{0, 0, 81, 87}, {1, 0, 234, 270}, {0, 1, 192, 263}, {1, 1, 55, 80},
+	}
+	for _, c := range cells {
+		idx := space.MustIndex(c.g, c.r)
+		if err := counts.Add(idx, 1, c.adm); err != nil {
+			t.Fatal(err)
+		}
+		if err := counts.Add(idx, 0, c.tot-c.adm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	revs, err := fairness.DetectSimpsonReversals(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(revs) == 0 {
+		t.Fatal("Table 1 reversal not detected through the facade")
+	}
+	if fairness.RandomizedResponseEpsilon != math.Log(3) {
+		t.Fatal("calibration constant wrong")
+	}
+}

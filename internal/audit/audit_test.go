@@ -1,0 +1,153 @@
+package audit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+func TestRunAdmissionsFullAudit(t *testing.T) {
+	rep, err := Run(datasets.Admissions(), Options{
+		Subsets:      true,
+		Bootstrap:    200,
+		RepairTarget: 0.5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Full.Epsilon-1.511) > 5e-4 {
+		t.Errorf("full eps = %v", rep.Full.Epsilon)
+	}
+	if len(rep.Rows) != 3 {
+		t.Errorf("rows = %d, want 3 subsets", len(rep.Rows))
+	}
+	if rep.Interval == nil {
+		t.Fatal("bootstrap interval missing")
+	}
+	if !(rep.Interval.Lo <= rep.Full.Epsilon && rep.Full.Epsilon <= rep.Interval.Hi) {
+		t.Errorf("point %v outside bootstrap interval [%v, %v]",
+			rep.Full.Epsilon, rep.Interval.Lo, rep.Interval.Hi)
+	}
+	if len(rep.Reversals) == 0 {
+		t.Error("Simpson reversal not reported")
+	}
+	if rep.RepairPlan == nil {
+		t.Fatal("repair plan missing")
+	}
+	if rep.RepairPlan.Movement <= 0 {
+		t.Error("repair plan claims zero movement on an unfair table")
+	}
+	if rep.SubsetBound != 2*rep.Full.Epsilon {
+		t.Error("subset bound wrong")
+	}
+}
+
+func TestRunWithoutOptionalAnalyses(t *testing.T) {
+	rep, err := Run(datasets.Lending(), Options{Subsets: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Errorf("rows = %d, want the full intersection only", len(rep.Rows))
+	}
+	if rep.Interval != nil || rep.RepairPlan != nil {
+		t.Error("optional analyses present without being requested")
+	}
+}
+
+func TestRunSmoothedEstimator(t *testing.T) {
+	rep, err := Run(datasets.Admissions(), Options{Alpha: 1, Subsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Estimator, "Eq. 7") {
+		t.Errorf("estimator label %q", rep.Estimator)
+	}
+	// Smoothed full eps differs from empirical but stays in the vicinity.
+	if math.Abs(rep.Full.Epsilon-1.511) > 0.2 {
+		t.Errorf("smoothed eps = %v drifted too far", rep.Full.Epsilon)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("nil counts accepted")
+	}
+	if _, err := Run(datasets.Admissions(), Options{Alpha: -1}); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestRenderContainsAllSections(t *testing.T) {
+	rep, err := Run(datasets.Admissions(), Options{
+		Subsets:      true,
+		Bootstrap:    100,
+		RepairTarget: 0.5,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"700 observations",
+		"gender,race",
+		"interpretation",
+		"bootstrap",
+		"Simpson reversal",
+		"repair proposal",
+		"theorem 3.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderInfiniteEps(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts := core.MustCounts(space, []string{"no", "yes"})
+	counts.MustAdd(0, 0, 10)
+	counts.MustAdd(1, 0, 5)
+	counts.MustAdd(1, 1, 5)
+	rep, err := Run(counts, Options{Subsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full.Finite {
+		t.Fatal("expected infinite full epsilon")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inf") {
+		t.Error("infinite epsilon not rendered")
+	}
+}
+
+func TestRepairSkippedForMultiOutcome(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts := core.MustCounts(space, []string{"x", "y", "z"})
+	for g := 0; g < 2; g++ {
+		for y := 0; y < 3; y++ {
+			counts.MustAdd(g, y, float64(5+g+y))
+		}
+	}
+	rep, err := Run(counts, Options{RepairTarget: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairPlan != nil {
+		t.Error("repair plan produced for a non-binary outcome")
+	}
+}

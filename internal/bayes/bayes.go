@@ -1,0 +1,158 @@
+// Package bayes implements the Bayesian estimation options the paper
+// sketches for differential fairness: training a probabilistic model on
+// the data and letting Θ be a MAP estimate, a posterior predictive
+// distribution, or a set of posterior samples / a credible region
+// (Section 3 footnote 2 and the future-work agenda of Section 8).
+//
+// The model is the conjugate Dirichlet-multinomial over outcomes given
+// each intersectional group: with a symmetric Dirichlet(α) prior the
+// posterior over P(·|s) is Dirichlet(N_{·,s} + α), whose posterior
+// predictive mean is exactly the smoothed estimator of Eq. 7.
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// DirichletMultinomial is the conjugate model of outcome counts per
+// group.
+type DirichletMultinomial struct {
+	counts *core.Counts
+	alpha  float64
+}
+
+// NewDirichletMultinomial wraps counts with a symmetric Dirichlet prior
+// of per-outcome pseudo-count alpha > 0.
+func NewDirichletMultinomial(counts *core.Counts, alpha float64) (*DirichletMultinomial, error) {
+	if counts == nil {
+		return nil, fmt.Errorf("bayes: nil counts")
+	}
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("bayes: alpha must be positive and finite, got %v", alpha)
+	}
+	return &DirichletMultinomial{counts: counts, alpha: alpha}, nil
+}
+
+// PosteriorPredictive returns the posterior-predictive CPT, which equals
+// the Eq. 7 smoothed estimator. Groups with no observations receive the
+// prior predictive (uniform) when includeEmpty is true.
+func (m *DirichletMultinomial) PosteriorPredictive(includeEmpty bool) (*core.CPT, error) {
+	return m.counts.Smoothed(m.alpha, includeEmpty)
+}
+
+// SamplePosterior draws n CPTs from the posterior: for each supported
+// group, P(·|s) ~ Dirichlet(N_{·,s} + α). The samples form a finite
+// approximation of the credible set Θ; core.FrameworkEpsilon over them is
+// the "Θ as a set of plausible distributions" reading of Definition 3.1.
+func (m *DirichletMultinomial) SamplePosterior(n int, r *rng.RNG) ([]*core.CPT, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bayes: need n > 0 samples, got %d", n)
+	}
+	space := m.counts.Space()
+	outcomes := m.counts.Outcomes()
+	k := len(outcomes)
+	alphaPost := make([]float64, k)
+	probs := make([]float64, k)
+	out := make([]*core.CPT, 0, n)
+	for i := 0; i < n; i++ {
+		cpt, err := core.NewCPT(space, outcomes)
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < space.Size(); g++ {
+			ns := m.counts.GroupTotal(g)
+			if ns <= 0 {
+				continue
+			}
+			for y := 0; y < k; y++ {
+				alphaPost[y] = m.counts.N(g, y) + m.alpha
+			}
+			r.Dirichlet(probs, alphaPost)
+			if err := cpt.SetRow(g, ns, probs...); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, cpt)
+	}
+	return out, nil
+}
+
+// EpsilonPosterior summarizes the posterior distribution of ε: point
+// estimates and a central credible interval.
+type EpsilonPosterior struct {
+	// Mean is the posterior mean of ε over the samples.
+	Mean float64
+	// Median is the posterior median.
+	Median float64
+	// Lo and Hi bound the central credible interval at the requested
+	// level.
+	Lo, Hi float64
+	// Level is the credible level, e.g. 0.95.
+	Level float64
+	// Samples holds the sorted per-sample ε values.
+	Samples []float64
+	// Sup is the supremum over samples: ε of the sampled Θ as a
+	// framework (Definition 3.1 with Θ = the credible set).
+	Sup float64
+}
+
+// EpsilonCredible draws n posterior samples and returns the posterior
+// summary of ε at the given credible level (in (0,1)).
+func (m *DirichletMultinomial) EpsilonCredible(n int, level float64, r *rng.RNG) (EpsilonPosterior, error) {
+	if !(level > 0 && level < 1) {
+		return EpsilonPosterior{}, fmt.Errorf("bayes: credible level %v outside (0,1)", level)
+	}
+	thetas, err := m.SamplePosterior(n, r)
+	if err != nil {
+		return EpsilonPosterior{}, err
+	}
+	eps := make([]float64, 0, n)
+	var sum, sup float64
+	for _, theta := range thetas {
+		res, err := core.Epsilon(theta)
+		if err != nil {
+			return EpsilonPosterior{}, err
+		}
+		eps = append(eps, res.Epsilon)
+		sum += res.Epsilon
+		if res.Epsilon > sup {
+			sup = res.Epsilon
+		}
+	}
+	sort.Float64s(eps)
+	lo := quantileSorted(eps, (1-level)/2)
+	hi := quantileSorted(eps, 1-(1-level)/2)
+	return EpsilonPosterior{
+		Mean:    sum / float64(len(eps)),
+		Median:  quantileSorted(eps, 0.5),
+		Lo:      lo,
+		Hi:      hi,
+		Level:   level,
+		Samples: eps,
+		Sup:     sup,
+	}, nil
+}
+
+// quantileSorted returns the q-quantile of sorted values by linear
+// interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

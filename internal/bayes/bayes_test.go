@@ -1,0 +1,180 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func demoCounts(t *testing.T) *core.Counts {
+	t.Helper()
+	s := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	c := core.MustCounts(s, []string{"no", "yes"})
+	c.MustAdd(0, 0, 30)
+	c.MustAdd(0, 1, 70)
+	c.MustAdd(1, 0, 60)
+	c.MustAdd(1, 1, 40)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewDirichletMultinomial(nil, 1); err == nil {
+		t.Error("nil counts accepted")
+	}
+	c := demoCounts(t)
+	for _, alpha := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewDirichletMultinomial(c, alpha); err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+		}
+	}
+}
+
+// TestPosteriorPredictiveIsEq7: the posterior predictive of the conjugate
+// model equals the paper's smoothed estimator.
+func TestPosteriorPredictiveIsEq7(t *testing.T) {
+	c := demoCounts(t)
+	m, err := NewDirichletMultinomial(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := m.PosteriorPredictive(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Smoothed(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		for y := 0; y < 2; y++ {
+			if math.Abs(pp.Prob(g, y)-want.Prob(g, y)) > 1e-15 {
+				t.Fatalf("posterior predictive != Eq.7 at (%d,%d)", g, y)
+			}
+		}
+	}
+}
+
+func TestSamplePosteriorShapeAndDeterminism(t *testing.T) {
+	c := demoCounts(t)
+	m, _ := NewDirichletMultinomial(c, 1)
+	s1, err := m.SamplePosterior(5, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.SamplePosterior(5, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 5 {
+		t.Fatalf("got %d samples", len(s1))
+	}
+	for i := range s1 {
+		for g := 0; g < 2; g++ {
+			for y := 0; y < 2; y++ {
+				if s1[i].Prob(g, y) != s2[i].Prob(g, y) {
+					t.Fatal("posterior sampling not deterministic under fixed seed")
+				}
+			}
+		}
+	}
+	if _, err := m.SamplePosterior(0, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSamplePosteriorRowsAreDistributions(t *testing.T) {
+	c := demoCounts(t)
+	m, _ := NewDirichletMultinomial(c, 0.5)
+	samples, err := m.SamplePosterior(50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid sampled CPT: %v", err)
+		}
+	}
+}
+
+// TestPosteriorConcentratesWithData: with 100x the data at the same
+// rates, the posterior spread of ε shrinks and the interval tightens
+// around the empirical value.
+func TestPosteriorConcentratesWithData(t *testing.T) {
+	s := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	build := func(scale float64) *core.Counts {
+		c := core.MustCounts(s, []string{"no", "yes"})
+		c.MustAdd(0, 0, 30*scale)
+		c.MustAdd(0, 1, 70*scale)
+		c.MustAdd(1, 0, 60*scale)
+		c.MustAdd(1, 1, 40*scale)
+		return c
+	}
+	small, _ := NewDirichletMultinomial(build(1), 1)
+	big, _ := NewDirichletMultinomial(build(100), 1)
+	ps, err := small.EpsilonCredible(400, 0.9, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := big.EpsilonCredible(400, 0.9, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if widthS, widthB := ps.Hi-ps.Lo, pb.Hi-pb.Lo; widthB >= widthS {
+		t.Fatalf("credible interval did not shrink with data: %v vs %v", widthB, widthS)
+	}
+	// The large-data posterior should centre near the empirical epsilon.
+	emp := core.MustEpsilon(build(100).Empirical()).Epsilon
+	if math.Abs(pb.Median-emp) > 0.05 {
+		t.Fatalf("posterior median %v far from empirical %v", pb.Median, emp)
+	}
+}
+
+func TestEpsilonCredibleInvariants(t *testing.T) {
+	c := demoCounts(t)
+	m, _ := NewDirichletMultinomial(c, 1)
+	p, err := m.EpsilonCredible(300, 0.95, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Lo <= p.Median && p.Median <= p.Hi) {
+		t.Fatalf("quantiles out of order: %v %v %v", p.Lo, p.Median, p.Hi)
+	}
+	if p.Sup < p.Hi {
+		t.Fatalf("sup %v below upper quantile %v", p.Sup, p.Hi)
+	}
+	if len(p.Samples) != 300 {
+		t.Fatalf("kept %d samples", len(p.Samples))
+	}
+	for i := 1; i < len(p.Samples); i++ {
+		if p.Samples[i] < p.Samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+	if _, err := m.EpsilonCredible(10, 1.5, rng.New(1)); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if got := quantileSorted(vals, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := quantileSorted(vals, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := quantileSorted(vals, 0.5); got != 3 {
+		t.Errorf("q0.5 = %v", got)
+	}
+	if got := quantileSorted(vals, 0.25); got != 2 {
+		t.Errorf("q0.25 = %v", got)
+	}
+	if got := quantileSorted([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton = %v", got)
+	}
+	if got := quantileSorted(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty = %v", got)
+	}
+}

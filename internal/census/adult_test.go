@@ -1,0 +1,148 @@
+package census
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleAdult mimics genuine adult.data rows (values taken from the UCI
+// documentation's format).
+const sampleAdult = `39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K
+50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, <=50K
+38, Private, 215646, HS-grad, 9, Divorced, Handlers-cleaners, Not-in-family, White, Male, 0, 0, 40, United-States, <=50K
+53, Private, 234721, 11th, 7, Married-civ-spouse, Handlers-cleaners, Husband, Black, Male, 0, 0, 40, United-States, <=50K
+28, Private, 338409, Bachelors, 13, Married-civ-spouse, Prof-specialty, Wife, Black, Female, 0, 0, 40, Cuba, <=50K
+37, Private, 284582, Masters, 14, Married-civ-spouse, Exec-managerial, Wife, White, Female, 0, 0, 40, United-States, <=50K
+31, Private, 45781, Masters, 14, Never-married, Prof-specialty, Not-in-family, White, Female, 14084, 0, 50, United-States, >50K
+42, Private, 159449, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 5178, 0, 40, United-States, >50K
+30, State-gov, 141297, Bachelors, 13, Married-civ-spouse, Prof-specialty, Husband, Asian-Pac-Islander, Male, 0, 0, 40, India, >50K
+34, Private, 245487, 7th-8th, 4, Married-civ-spouse, Transport-moving, Husband, Amer-Indian-Eskimo, Male, 0, 0, 45, Mexico, <=50K
+`
+
+func TestLoadAdultParsesSample(t *testing.T) {
+	people, err := LoadAdult(strings.NewReader(sampleAdult))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(people) != 10 {
+		t.Fatalf("parsed %d rows, want 10", len(people))
+	}
+	first := people[0]
+	if first.Age != 39 || first.EducationNum != 13 || first.HoursPerWeek != 40 {
+		t.Errorf("first row numerics wrong: %+v", first)
+	}
+	if first.Gender != Male || first.Race != White || first.Nationality != US {
+		t.Errorf("first row protected attributes wrong: %+v", first)
+	}
+	if first.Income != 0 || first.CapitalGain != 2174 {
+		t.Errorf("first row label/gain wrong: %+v", first)
+	}
+	if first.Workclass != 2 { // State-gov -> Gov
+		t.Errorf("State-gov mapped to %d", first.Workclass)
+	}
+}
+
+func TestLoadAdultPaperPreprocessing(t *testing.T) {
+	people, err := LoadAdult(strings.NewReader(sampleAdult))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amer-Indian-Eskimo merges into Other (the paper's merge).
+	last := people[9]
+	if last.Race != OtherRace {
+		t.Errorf("Amer-Indian-Eskimo mapped to race %d, want OtherRace", last.Race)
+	}
+	// Mexico, Cuba, India binarize to non-US.
+	if last.Nationality != NonUS || people[4].Nationality != NonUS || people[8].Nationality != NonUS {
+		t.Error("non-US countries not binarized")
+	}
+	// >50K labels.
+	if people[6].Income != 1 || people[7].Income != 1 || people[8].Income != 1 {
+		t.Error(">50K labels wrong")
+	}
+	// Relationship mapping: Wife rows.
+	if people[4].Relationship != 1 || people[5].Relationship != 1 {
+		t.Error("Wife relationship mapping wrong")
+	}
+}
+
+func TestLoadAdultTestFileQuirks(t *testing.T) {
+	// adult.test has a leading banner line and trailing periods on labels.
+	input := "|1x3 Cross validator\n" +
+		"25, Private, 226802, 11th, 7, Never-married, Machine-op-inspct, Own-child, Black, Male, 0, 0, 40, United-States, <=50K.\n" +
+		"38, Private, 89814, HS-grad, 9, Married-civ-spouse, Farming-fishing, Husband, White, Male, 0, 0, 50, United-States, >50K.\n"
+	people, err := LoadAdult(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(people) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(people))
+	}
+	if people[0].Income != 0 || people[1].Income != 1 {
+		t.Error("trailing-period labels mishandled")
+	}
+	if people[0].Relationship != 4 { // Own-child
+		t.Error("Own-child relationship mapping wrong")
+	}
+}
+
+func TestLoadAdultSkipsMissingProtected(t *testing.T) {
+	input := "39, Private, 1, HS-grad, 9, Never-married, Sales, Not-in-family, White, Male, 0, 0, 40, ?, <=50K\n" +
+		"40, Private, 1, HS-grad, 9, Never-married, Sales, Not-in-family, White, Female, 0, 0, 40, United-States, <=50K\n"
+	people, err := LoadAdult(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(people) != 1 {
+		t.Fatalf("parsed %d rows, want 1 (missing nationality skipped)", len(people))
+	}
+}
+
+func TestLoadAdultMissingWorkclassBucketsToOther(t *testing.T) {
+	input := "39, ?, 1, HS-grad, 9, Never-married, ?, Not-in-family, White, Male, 0, 0, 40, United-States, <=50K\n"
+	people, err := LoadAdult(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if people[0].Workclass != 3 {
+		t.Errorf("missing workclass mapped to %d, want Other bucket", people[0].Workclass)
+	}
+	if people[0].Occupation != 7 {
+		t.Errorf("missing occupation mapped to %d, want catch-all bucket", people[0].Occupation)
+	}
+}
+
+func TestLoadAdultErrors(t *testing.T) {
+	if _, err := LoadAdult(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := LoadAdult(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := "x, Private, 1, HS-grad, 9, Never-married, Sales, Not-in-family, White, Male, 0, 0, 40, United-States, <=50K\n"
+	if _, err := LoadAdult(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric age accepted")
+	}
+}
+
+func TestLoadAdultRoundTripsThroughAnalysis(t *testing.T) {
+	people, err := LoadAdult(strings.NewReader(sampleAdult))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := IncomeCounts(Space(), people)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 10 {
+		t.Fatalf("counts total %v", counts.Total())
+	}
+	// The parsed rows also work as classifier features.
+	ds, _, err := Dataset(people, []string{"gender", "race"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10 {
+		t.Fatalf("dataset len %d", ds.Len())
+	}
+}

@@ -1,0 +1,244 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// FairLogisticConfig extends logistic training with a differential-
+// fairness penalty, implementing the regularizer direction the paper
+// lists as future work (Section 8): the loss becomes
+//
+//	NLL + (λ/P) · Σ_{g<h} [ (ln p̄_g − ln p̄_h)² + (ln(1−p̄_g) − ln(1−p̄_h))² ]
+//
+// where p̄_g is the Dirichlet-smoothed mean predicted positive
+// probability of intersectional group g,
+//
+//	p̄_g = (Σ_{i∈g} σ_i + α) / (N_g + 2α), α = 1,
+//
+// and P is the number of populated group pairs. This is a smooth
+// surrogate for the DF ε of the classifier, penalizing exactly the
+// pairwise log-probability ratios Definition 3.1 bounds; the smoothing
+// (the same Eq. 7 device used for measurement) keeps gradients bounded
+// on tiny intersections, and the 1/P normalization makes λ comparable
+// across protected-space sizes.
+type FairLogisticConfig struct {
+	LogisticConfig
+	// Lambda scales the fairness penalty. Zero reduces to TrainLogistic.
+	Lambda float64
+	// Groups assigns each training row to an intersectional group in
+	// [0, NumGroups).
+	Groups []int
+	// NumGroups is the number of intersectional groups.
+	NumGroups int
+}
+
+// FairLogistic is a trained fairness-regularized model.
+type FairLogistic struct {
+	Logistic
+	// FinalPenalty is the fairness penalty term after the last epoch
+	// (before scaling by λ).
+	FinalPenalty float64
+}
+
+// TrainFairLogistic fits logistic regression with the DF surrogate
+// penalty by full-batch gradient descent.
+func TrainFairLogistic(ds Dataset, cfg FairLogisticConfig) (*FairLogistic, error) {
+	base := cfg.LogisticConfig.withDefaults()
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
+		return nil, fmt.Errorf("classify: invalid lambda %v", cfg.Lambda)
+	}
+	if len(cfg.Groups) != ds.Len() {
+		return nil, fmt.Errorf("classify: %d group labels for %d rows", len(cfg.Groups), ds.Len())
+	}
+	if cfg.NumGroups < 2 {
+		return nil, fmt.Errorf("classify: need at least 2 groups, got %d", cfg.NumGroups)
+	}
+	groupSize := make([]float64, cfg.NumGroups)
+	for i, g := range cfg.Groups {
+		if g < 0 || g >= cfg.NumGroups {
+			return nil, fmt.Errorf("classify: row %d group %d out of range", i, g)
+		}
+		groupSize[g]++
+	}
+	n := ds.Len()
+	width := ds.Width()
+	m := &FairLogistic{Logistic: Logistic{W: make([]float64, width)}}
+	gradW := make([]float64, width)
+	sigma := make([]float64, n)
+	// Per-group accumulators: mean prediction and its parameter gradient.
+	sumP := make([]float64, cfg.NumGroups)
+	gradP := make([][]float64, cfg.NumGroups) // d p̄_g / dW
+	gradPB := make([]float64, cfg.NumGroups)  // d p̄_g / dB
+	for g := range gradP {
+		gradP[g] = make([]float64, width)
+	}
+	coeff := make([]float64, cfg.NumGroups)
+	invN := 1 / float64(n)
+	const priorAlpha = 1.0
+	// Count populated pairs once; group membership is fixed.
+	var pairs float64
+	for g := 0; g < cfg.NumGroups; g++ {
+		if groupSize[g] == 0 {
+			continue
+		}
+		for h := g + 1; h < cfg.NumGroups; h++ {
+			if groupSize[h] > 0 {
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return nil, fmt.Errorf("classify: fewer than two populated groups")
+	}
+	for epoch := 0; epoch < base.Epochs; epoch++ {
+		for j := range gradW {
+			gradW[j] = 0
+		}
+		gradB := 0.0
+		loss := 0.0
+		for g := range sumP {
+			sumP[g] = 0
+			gradPB[g] = 0
+			for j := range gradP[g] {
+				gradP[g][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			row := ds.X[i]
+			p := Sigmoid(m.score(row))
+			sigma[i] = p
+			diff := p - float64(ds.Y[i])
+			for j, x := range row {
+				if x != 0 {
+					gradW[j] += diff * x
+				}
+			}
+			gradB += diff
+			loss += crossEntropy(p, ds.Y[i])
+			g := cfg.Groups[i]
+			sumP[g] += p
+			dp := p * (1 - p)
+			for j, x := range row {
+				if x != 0 {
+					gradP[g][j] += dp * x
+				}
+			}
+			gradPB[g] += dp
+		}
+		for j := range gradW {
+			gradW[j] = gradW[j]*invN + base.L2*m.W[j]
+		}
+		gradB *= invN
+		// Fairness penalty and its gradient through the smoothed group
+		// means, normalized by the number of populated pairs.
+		penalty := 0.0
+		for g := range coeff {
+			coeff[g] = 0
+		}
+		for g := 0; g < cfg.NumGroups; g++ {
+			if groupSize[g] == 0 {
+				continue
+			}
+			pg := (sumP[g] + priorAlpha) / (groupSize[g] + 2*priorAlpha)
+			for h := g + 1; h < cfg.NumGroups; h++ {
+				if groupSize[h] == 0 {
+					continue
+				}
+				ph := (sumP[h] + priorAlpha) / (groupSize[h] + 2*priorAlpha)
+				dPos := math.Log(pg) - math.Log(ph)
+				dNeg := math.Log(1-pg) - math.Log(1-ph)
+				penalty += dPos*dPos + dNeg*dNeg
+				coeff[g] += 2*dPos/pg - 2*dNeg/(1-pg)
+				coeff[h] += -2*dPos/ph + 2*dNeg/(1-ph)
+			}
+		}
+		penalty /= pairs
+		if cfg.Lambda > 0 {
+			for g := 0; g < cfg.NumGroups; g++ {
+				if groupSize[g] == 0 || coeff[g] == 0 {
+					continue
+				}
+				// d p̄_g/dθ has the smoothed denominator; 1/pairs applies
+				// the penalty normalization.
+				scale := cfg.Lambda * coeff[g] / (pairs * (groupSize[g] + 2*priorAlpha))
+				for j := range gradW {
+					gradW[j] += scale * gradP[g][j]
+				}
+				gradB += scale * gradPB[g]
+			}
+		}
+		for j := range m.W {
+			m.W[j] -= base.LearningRate * gradW[j]
+		}
+		m.B -= base.LearningRate * gradB
+		m.FinalLoss = loss * invN
+		m.FinalPenalty = penalty
+	}
+	return m, nil
+}
+
+func clampProb(p, eps float64) float64 {
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// GroupPositiveRates returns the mean predicted probability per group —
+// the p̄_g vector the penalty is defined on — along with group sizes.
+func GroupPositiveRates(probs []float64, groups []int, numGroups int) ([]float64, []float64, error) {
+	if len(probs) != len(groups) {
+		return nil, nil, fmt.Errorf("classify: %d probs vs %d groups", len(probs), len(groups))
+	}
+	if numGroups <= 0 {
+		return nil, nil, fmt.Errorf("classify: need positive group count")
+	}
+	rates := make([]float64, numGroups)
+	sizes := make([]float64, numGroups)
+	for i, g := range groups {
+		if g < 0 || g >= numGroups {
+			return nil, nil, fmt.Errorf("classify: row %d group %d out of range", i, g)
+		}
+		rates[g] += probs[i]
+		sizes[g]++
+	}
+	for g := range rates {
+		if sizes[g] > 0 {
+			rates[g] /= sizes[g]
+		}
+	}
+	return rates, sizes, nil
+}
+
+// SoftEpsilon computes the DF surrogate ε of group mean probabilities:
+// the max over outcome ∈ {positive, negative} and group pairs of the
+// absolute log ratio. Groups with zero size are skipped.
+func SoftEpsilon(rates, sizes []float64) float64 {
+	var eps float64
+	for g := range rates {
+		if sizes[g] == 0 {
+			continue
+		}
+		for h := range rates {
+			if h == g || sizes[h] == 0 {
+				continue
+			}
+			pg := clampProb(rates[g], 1e-12)
+			ph := clampProb(rates[h], 1e-12)
+			if d := math.Abs(math.Log(pg) - math.Log(ph)); d > eps {
+				eps = d
+			}
+			if d := math.Abs(math.Log(1-pg) - math.Log(1-ph)); d > eps {
+				eps = d
+			}
+		}
+	}
+	return eps
+}

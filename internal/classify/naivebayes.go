@@ -1,0 +1,128 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a categorical naive-Bayes classifier over
+// dictionary-encoded discrete features, used as the simple baseline the
+// logistic regression is compared against.
+type NaiveBayes struct {
+	classLogPrior []float64   // [class]
+	featLogProb   [][]float64 // [class][feature offset + value]
+	offsets       []int
+	cards         []int
+}
+
+// TrainNaiveBayes fits the model from discrete feature rows. cards gives
+// the cardinality of each feature column; alpha is the Laplace smoothing
+// pseudo-count (> 0).
+func TrainNaiveBayes(rows [][]int, cards []int, y []int, alpha float64) (*NaiveBayes, error) {
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("classify: %d rows vs %d labels", len(rows), len(y))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("classify: empty training set")
+	}
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("classify: naive Bayes needs alpha > 0, got %v", alpha)
+	}
+	nFeat := len(cards)
+	offsets := make([]int, nFeat)
+	total := 0
+	for j, c := range cards {
+		if c <= 0 {
+			return nil, fmt.Errorf("classify: feature %d has cardinality %d", j, c)
+		}
+		offsets[j] = total
+		total += c
+	}
+	const nClass = 2
+	classCount := make([]float64, nClass)
+	featCount := make([][]float64, nClass)
+	for c := range featCount {
+		featCount[c] = make([]float64, total)
+	}
+	for i, row := range rows {
+		if len(row) != nFeat {
+			return nil, fmt.Errorf("classify: row %d has %d features, want %d", i, len(row), nFeat)
+		}
+		label := y[i]
+		if label != 0 && label != 1 {
+			return nil, fmt.Errorf("classify: non-binary label %d", label)
+		}
+		classCount[label]++
+		for j, v := range row {
+			if v < 0 || v >= cards[j] {
+				return nil, fmt.Errorf("classify: row %d feature %d value %d out of range", i, j, v)
+			}
+			featCount[label][offsets[j]+v]++
+		}
+	}
+	m := &NaiveBayes{
+		classLogPrior: make([]float64, nClass),
+		featLogProb:   make([][]float64, nClass),
+		offsets:       offsets,
+		cards:         append([]int(nil), cards...),
+	}
+	n := float64(len(rows))
+	for c := 0; c < nClass; c++ {
+		m.classLogPrior[c] = math.Log((classCount[c] + alpha) / (n + nClass*alpha))
+		m.featLogProb[c] = make([]float64, total)
+		for j := 0; j < nFeat; j++ {
+			denom := classCount[c] + alpha*float64(cards[j])
+			for v := 0; v < cards[j]; v++ {
+				k := offsets[j] + v
+				m.featLogProb[c][k] = math.Log((featCount[c][k] + alpha) / denom)
+			}
+		}
+	}
+	return m, nil
+}
+
+// PredictProb returns P(y=1 | row) by normalized joint likelihood.
+func (m *NaiveBayes) PredictProb(row []int) (float64, error) {
+	if len(row) != len(m.cards) {
+		return 0, fmt.Errorf("classify: row has %d features, want %d", len(row), len(m.cards))
+	}
+	logs := [2]float64{m.classLogPrior[0], m.classLogPrior[1]}
+	for j, v := range row {
+		if v < 0 || v >= m.cards[j] {
+			return 0, fmt.Errorf("classify: feature %d value %d out of range", j, v)
+		}
+		k := m.offsets[j] + v
+		logs[0] += m.featLogProb[0][k]
+		logs[1] += m.featLogProb[1][k]
+	}
+	// Normalize in log space.
+	mx := math.Max(logs[0], logs[1])
+	p0 := math.Exp(logs[0] - mx)
+	p1 := math.Exp(logs[1] - mx)
+	return p1 / (p0 + p1), nil
+}
+
+// Predict thresholds PredictProb at 0.5.
+func (m *NaiveBayes) Predict(row []int) (int, error) {
+	p, err := m.PredictProb(row)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// PredictAll returns hard predictions for every row.
+func (m *NaiveBayes) PredictAll(rows [][]int) ([]int, error) {
+	out := make([]int, len(rows))
+	for i, row := range rows {
+		p, err := m.Predict(row)
+		if err != nil {
+			return nil, fmt.Errorf("classify: row %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

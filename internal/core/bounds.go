@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PosteriorOdds evaluates both sides of the Bayesian privacy guarantee of
+// Eq. 4 for a concrete prior over groups: it returns the prior odds
+// P(si)/P(sj) and the posterior odds P(si | y)/P(sj | y) computed by Bayes
+// rule from the CPT. Differential fairness promises
+//
+//	e^-ε · priorOdds ≤ posteriorOdds ≤ e^ε · priorOdds,
+//
+// i.e. observing the outcome tells an adversary almost nothing about the
+// protected attributes.
+func PosteriorOdds(c *CPT, prior []float64, outcome, si, sj int) (priorOdds, posteriorOdds float64, err error) {
+	if len(prior) != c.Space().Size() {
+		return 0, 0, fmt.Errorf("core: prior has %d entries for %d groups", len(prior), c.Space().Size())
+	}
+	if outcome < 0 || outcome >= c.NumOutcomes() {
+		return 0, 0, fmt.Errorf("core: outcome %d out of range", outcome)
+	}
+	for g, p := range prior {
+		if !(p >= 0) || math.IsInf(p, 0) {
+			return 0, 0, fmt.Errorf("core: invalid prior probability %v for group %d", p, g)
+		}
+	}
+	if prior[si] <= 0 || prior[sj] <= 0 {
+		return 0, 0, fmt.Errorf("core: prior must be positive for compared groups")
+	}
+	priorOdds = prior[si] / prior[sj]
+	num := c.Prob(si, outcome) * prior[si]
+	den := c.Prob(sj, outcome) * prior[sj]
+	if den == 0 {
+		if num == 0 {
+			return priorOdds, math.NaN(), nil
+		}
+		return priorOdds, math.Inf(1), nil
+	}
+	posteriorOdds = num / den
+	return priorOdds, posteriorOdds, nil
+}
+
+// CheckPosteriorOddsBound verifies Eq. 4 for every outcome and every pair
+// of supported groups under the given prior, using the supplied ε. It
+// returns an error naming the first violation, or nil.
+func CheckPosteriorOddsBound(c *CPT, prior []float64, eps float64) error {
+	groups := c.SupportedGroups()
+	lo, hi := math.Exp(-eps), math.Exp(eps)
+	const tol = 1e-9
+	for y := 0; y < c.NumOutcomes(); y++ {
+		for _, si := range groups {
+			for _, sj := range groups {
+				if si == sj {
+					continue
+				}
+				priorOdds, postOdds, err := PosteriorOdds(c, prior, y, si, sj)
+				if err != nil {
+					return err
+				}
+				if math.IsNaN(postOdds) {
+					continue // outcome unreachable from both groups
+				}
+				if postOdds < lo*priorOdds-tol || postOdds > hi*priorOdds+tol {
+					return fmt.Errorf("core: Eq.4 violated at outcome %d, groups (%s, %s): posterior odds %v outside [%v, %v]",
+						y, c.Space().Label(si), c.Space().Label(sj), postOdds, lo*priorOdds, hi*priorOdds)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectedUtility returns E[u(y) | s] = Σ_y P(y|s) u(y) for one group.
+// The utility vector must be non-negative, as in Eq. 5.
+func ExpectedUtility(c *CPT, group int, utility []float64) (float64, error) {
+	if len(utility) != c.NumOutcomes() {
+		return 0, fmt.Errorf("core: utility has %d entries for %d outcomes", len(utility), c.NumOutcomes())
+	}
+	var sum float64
+	for y, u := range utility {
+		if !(u >= 0) || math.IsInf(u, 0) {
+			return 0, fmt.Errorf("core: invalid utility %v for outcome %d", u, y)
+		}
+		sum += c.Prob(group, y) * u
+	}
+	return sum, nil
+}
+
+// UtilityDisparity returns the maximal ratio of expected utilities
+// between supported group pairs, max_{si,sj} E[u|si]/E[u|sj]. By Eq. 5 an
+// ε-DF mechanism guarantees this is at most e^ε for every non-negative
+// utility function. A +Inf result means some group receives zero expected
+// utility while another receives positive utility.
+func UtilityDisparity(c *CPT, utility []float64) (float64, error) {
+	groups := c.SupportedGroups()
+	if len(groups) < 2 {
+		return 0, fmt.Errorf("core: need at least two supported groups")
+	}
+	hi, lo := math.Inf(-1), math.Inf(1)
+	for _, g := range groups {
+		u, err := ExpectedUtility(c, g, utility)
+		if err != nil {
+			return 0, err
+		}
+		if u > hi {
+			hi = u
+		}
+		if u < lo {
+			lo = u
+		}
+	}
+	if hi == 0 {
+		return 1, nil // all-zero utility: no disparity
+	}
+	if lo == 0 {
+		return math.Inf(1), nil
+	}
+	return hi / lo, nil
+}
+
+// EpsilonInterpretation classifies a measured ε on the differential-
+// privacy intuition scale of Section 3.3.
+type EpsilonInterpretation struct {
+	Epsilon float64
+	// MaxUtilityFactor is exp(ε): the worst-case multiplicative disparity
+	// in expected utility between two intersectional groups (Eq. 5).
+	MaxUtilityFactor float64
+	// HighFairnessRegime is true when ε < 1, the analogue of differential
+	// privacy's "high privacy regime".
+	HighFairnessRegime bool
+	// StrongerThanRandomizedResponse is true when ε < ln 3 ≈ 1.0986, the
+	// guarantee of the classical randomized-response survey procedure.
+	StrongerThanRandomizedResponse bool
+}
+
+// RandomizedResponseEpsilon is ln 3, the ε of the classical randomized-
+// response procedure the paper uses to calibrate intuitions (§3.3).
+var RandomizedResponseEpsilon = math.Log(3)
+
+// Interpret returns the Section 3.3 reading of a measured ε.
+func Interpret(eps float64) EpsilonInterpretation {
+	return EpsilonInterpretation{
+		Epsilon:                        eps,
+		MaxUtilityFactor:               math.Exp(eps),
+		HighFairnessRegime:             eps < 1,
+		StrongerThanRandomizedResponse: eps < RandomizedResponseEpsilon,
+	}
+}

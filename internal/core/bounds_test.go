@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func fig2CPT(t *testing.T) *CPT {
+	t.Helper()
+	s := binarySpace(t)
+	c := MustCPT(s, []string{"no", "yes"})
+	pYes1 := 0.5 * math.Erfc(0.5/math.Sqrt2)
+	pYes2 := 0.5 * math.Erfc(-1.5/math.Sqrt2)
+	c.MustSetRow(0, 0.5, 1-pYes1, pYes1)
+	c.MustSetRow(1, 0.5, 1-pYes2, pYes2)
+	return c
+}
+
+func TestPosteriorOddsBayesRule(t *testing.T) {
+	c := fig2CPT(t)
+	prior := []float64{0.5, 0.5}
+	priorOdds, postOdds, err := PosteriorOdds(c, prior, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priorOdds != 1 {
+		t.Fatalf("prior odds = %v", priorOdds)
+	}
+	want := c.Prob(0, 1) / c.Prob(1, 1)
+	if math.Abs(postOdds-want) > 1e-12 {
+		t.Fatalf("posterior odds = %v, want %v", postOdds, want)
+	}
+}
+
+func TestPosteriorOddsRespectsEq4Bound(t *testing.T) {
+	c := fig2CPT(t)
+	eps := MustEpsilon(c).Epsilon
+	for _, prior := range [][]float64{{0.5, 0.5}, {0.9, 0.1}, {0.01, 0.99}} {
+		if err := CheckPosteriorOddsBound(c, prior, eps); err != nil {
+			t.Errorf("prior %v: %v", prior, err)
+		}
+	}
+}
+
+func TestPosteriorOddsBoundDetectsViolation(t *testing.T) {
+	c := fig2CPT(t)
+	eps := MustEpsilon(c).Epsilon
+	// Claiming a smaller ε than measured must be caught.
+	if err := CheckPosteriorOddsBound(c, []float64{0.5, 0.5}, eps/2); err == nil {
+		t.Fatal("undersized epsilon passed the Eq.4 check")
+	}
+}
+
+func TestPosteriorOddsValidation(t *testing.T) {
+	c := fig2CPT(t)
+	if _, _, err := PosteriorOdds(c, []float64{1}, 0, 0, 1); err == nil {
+		t.Error("short prior accepted")
+	}
+	if _, _, err := PosteriorOdds(c, []float64{0.5, 0.5}, 9, 0, 1); err == nil {
+		t.Error("bad outcome accepted")
+	}
+	if _, _, err := PosteriorOdds(c, []float64{0, 1}, 0, 0, 1); err == nil {
+		t.Error("zero prior for compared group accepted")
+	}
+	if _, _, err := PosteriorOdds(c, []float64{-0.5, 1.5}, 0, 0, 1); err == nil {
+		t.Error("negative prior accepted")
+	}
+}
+
+func TestExpectedUtility(t *testing.T) {
+	c := fig2CPT(t)
+	u := []float64{0, 1} // loan utility from the paper's example
+	got, err := ExpectedUtility(c, 0, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-c.Prob(0, 1)) > 1e-15 {
+		t.Fatalf("E[u|group1] = %v, want P(yes|group1)", got)
+	}
+	if _, err := ExpectedUtility(c, 0, []float64{1}); err == nil {
+		t.Error("short utility accepted")
+	}
+	if _, err := ExpectedUtility(c, 0, []float64{-1, 1}); err == nil {
+		t.Error("negative utility accepted")
+	}
+}
+
+// TestUtilityDisparityEq5 verifies the Eq. 5 guarantee on the worked
+// example: the disparity in expected utility is bounded by e^ε for
+// several utility functions.
+func TestUtilityDisparityEq5(t *testing.T) {
+	c := fig2CPT(t)
+	eps := MustEpsilon(c).Epsilon
+	bound := math.Exp(eps)
+	for _, u := range [][]float64{{0, 1}, {1, 0}, {1, 1}, {0.2, 3.5}, {5, 0.01}} {
+		d, err := UtilityDisparity(c, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > bound+1e-9 {
+			t.Errorf("utility %v: disparity %v exceeds e^eps = %v", u, d, bound)
+		}
+		if d < 1 {
+			t.Errorf("utility %v: disparity %v below 1", u, d)
+		}
+	}
+}
+
+func TestUtilityDisparityLnThreeExample(t *testing.T) {
+	// The paper's §3.3 example: a ln(3)-DF approval process can award one
+	// group three times the expected utility of another.
+	s := MustSpace(Attr{Name: "g", Values: []string{"wm", "ww"}})
+	c := MustCPT(s, []string{"deny", "approve"})
+	c.MustSetRow(0, 0.5, 0.4, 0.6)
+	c.MustSetRow(1, 0.5, 0.8, 0.2)
+	res := MustEpsilon(c)
+	if math.Abs(res.Epsilon-math.Log(3)) > 1e-12 {
+		t.Fatalf("epsilon = %v, want ln 3", res.Epsilon)
+	}
+	d, err := UtilityDisparity(c, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-3) > 1e-12 {
+		t.Fatalf("disparity = %v, want exactly 3", d)
+	}
+}
+
+func TestUtilityDisparityEdgeCases(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCPT(s, []string{"no", "yes"})
+	c.MustSetRow(0, 1, 1, 0)
+	c.MustSetRow(1, 1, 0.5, 0.5)
+	d, err := UtilityDisparity(c, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("zero-utility group should give +Inf disparity, got %v", d)
+	}
+	d, err = UtilityDisparity(c, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("all-zero utility should give disparity 1, got %v", d)
+	}
+}
+
+func TestInterpret(t *testing.T) {
+	i := Interpret(0.5)
+	if !i.HighFairnessRegime || !i.StrongerThanRandomizedResponse {
+		t.Errorf("eps=0.5 should be high-fairness: %+v", i)
+	}
+	if math.Abs(i.MaxUtilityFactor-math.Exp(0.5)) > 1e-15 {
+		t.Errorf("MaxUtilityFactor = %v", i.MaxUtilityFactor)
+	}
+	i = Interpret(1.05)
+	if i.HighFairnessRegime {
+		t.Error("eps=1.05 flagged high-fairness")
+	}
+	if !i.StrongerThanRandomizedResponse {
+		t.Error("eps=1.05 should beat randomized response (ln 3)")
+	}
+	i = Interpret(2.337)
+	if i.HighFairnessRegime || i.StrongerThanRandomizedResponse {
+		t.Errorf("eps=2.337 should fail both: %+v", i)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestComposeHandComputed(t *testing.T) {
+	s := binarySpace(t)
+	a := MustCPT(s, []string{"deny", "approve"})
+	a.MustSetRow(0, 1, 0.5, 0.5)
+	a.MustSetRow(1, 1, 0.25, 0.75)
+	b := MustCPT(s, []string{"lo", "hi"})
+	b.MustSetRow(0, 1, 0.8, 0.2)
+	b.MustSetRow(1, 1, 0.4, 0.6)
+	joint, err := ComposeIndependent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.NumOutcomes() != 4 {
+		t.Fatalf("outcomes = %d", joint.NumOutcomes())
+	}
+	// P(approve,hi | group 0) = 0.5 * 0.2 = 0.1.
+	idx := joint.OutcomeIndex("approve|hi")
+	if idx < 0 {
+		t.Fatalf("missing joint outcome, have %v", joint.Outcomes())
+	}
+	if got := joint.Prob(0, idx); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("P(approve,hi|0) = %v, want 0.1", got)
+	}
+	// Joint epsilon equals the sum here: both mechanisms disadvantage
+	// group 0 on the same side, and the worst joint cell multiplies.
+	epsA := MustEpsilon(a).Epsilon
+	epsB := MustEpsilon(b).Epsilon
+	epsJoint := MustEpsilon(joint).Epsilon
+	if epsJoint > epsA+epsB+1e-12 {
+		t.Fatalf("composition bound violated: %v > %v + %v", epsJoint, epsA, epsB)
+	}
+	want := math.Log((0.75 * 0.6) / (0.5 * 0.2)) // approve|hi ratio
+	if math.Abs(epsJoint-want) > 1e-12 {
+		t.Fatalf("joint eps = %v, want %v", epsJoint, want)
+	}
+}
+
+// TestCompositionTheoremProperty: ε(M1 ⊗ M2) ≤ ε(M1) + ε(M2) on random
+// mechanisms — the DF analogue of sequential composition.
+func TestCompositionTheoremProperty(t *testing.T) {
+	r := rng.New(401)
+	for trial := 0; trial < 300; trial++ {
+		a := randomCPT(r, 2, 2)
+		// b must share a's space: rebuild rows on a's space.
+		b := MustCPT(a.Space(), []string{"u", "v", "w"})
+		probs := make([]float64, 3)
+		for g := 0; g < a.Space().Size(); g++ {
+			r.Dirichlet(probs, []float64{1, 1, 1})
+			var sum float64
+			for i := range probs {
+				probs[i] += 0.01
+				sum += probs[i]
+			}
+			for i := range probs {
+				probs[i] /= sum
+			}
+			b.MustSetRow(g, a.Weight(g), probs...)
+		}
+		joint, err := ComposeIndependent(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epsA := MustEpsilon(a).Epsilon
+		epsB := MustEpsilon(b).Epsilon
+		epsJoint := MustEpsilon(joint).Epsilon
+		if epsJoint > epsA+epsB+1e-9 {
+			t.Fatalf("trial %d: composition bound violated: %v > %v + %v",
+				trial, epsJoint, epsA, epsB)
+		}
+		// Composition can never decrease unfairness below either component
+		// when the other component's outcome is marginally uninformative…
+		// but it CAN in general; we only assert the upper bound plus
+		// non-negativity.
+		if epsJoint < 0 {
+			t.Fatalf("trial %d: negative joint epsilon", trial)
+		}
+	}
+}
+
+func TestComposeAllChains(t *testing.T) {
+	s := binarySpace(t)
+	mk := func(p0, p1 float64) *CPT {
+		c := MustCPT(s, []string{"n", "y"})
+		c.MustSetRow(0, 1, 1-p0, p0)
+		c.MustSetRow(1, 1, 1-p1, p1)
+		return c
+	}
+	a, b, c := mk(0.5, 0.6), mk(0.4, 0.5), mk(0.3, 0.45)
+	joint, err := ComposeAll(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.NumOutcomes() != 8 {
+		t.Fatalf("outcomes = %d, want 8", joint.NumOutcomes())
+	}
+	bound := MustEpsilon(a).Epsilon + MustEpsilon(b).Epsilon + MustEpsilon(c).Epsilon
+	if got := MustEpsilon(joint).Epsilon; got > bound+1e-9 {
+		t.Fatalf("three-way composition bound violated: %v > %v", got, bound)
+	}
+	if _, err := ComposeAll(); err == nil {
+		t.Error("empty composition accepted")
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	s1 := binarySpace(t)
+	s2 := MustSpace(Attr{Name: "other", Values: []string{"x", "y"}})
+	a := MustCPT(s1, []string{"n", "y"})
+	b := MustCPT(s2, []string{"n", "y"})
+	if _, err := ComposeIndependent(a, b); err == nil {
+		t.Error("mismatched spaces accepted")
+	}
+}
+
+func TestComposeUnsupportedGroups(t *testing.T) {
+	s := MustSpace(Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	a := MustCPT(s, []string{"n", "y"})
+	a.MustSetRow(0, 1, 0.5, 0.5)
+	a.MustSetRow(1, 1, 0.4, 0.6)
+	a.MustSetRow(2, 1, 0.3, 0.7)
+	b := MustCPT(s, []string{"n", "y"})
+	b.MustSetRow(0, 1, 0.5, 0.5)
+	b.MustSetRow(1, 1, 0.4, 0.6)
+	// Group c unsupported in b.
+	joint, err := ComposeIndependent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Supported(2) {
+		t.Error("group supported in only one component survived composition")
+	}
+}
+
+// TestGerrymanderingCaughtByIntersection builds the "subset targeting"
+// scenario the paper cites from Dwork et al. and Kearns et al.: each
+// attribute looks fair marginally, yet one intersection is starkly
+// disadvantaged. Marginal ε values are near zero while the
+// intersectional ε is large — the failure mode DF is designed to catch.
+func TestGerrymanderingCaughtByIntersection(t *testing.T) {
+	s := MustSpace(
+		Attr{Name: "gender", Values: []string{"m", "f"}},
+		Attr{Name: "race", Values: []string{"w", "b"}},
+	)
+	c := MustCPT(s, []string{"deny", "approve"})
+	// Approve rates: mw 0.3, mb 0.7, fw 0.7, fb 0.3 with equal weights:
+	// every marginal rate is exactly 0.5.
+	c.MustSetRow(s.MustIndex(0, 0), 1, 0.7, 0.3)
+	c.MustSetRow(s.MustIndex(0, 1), 1, 0.3, 0.7)
+	c.MustSetRow(s.MustIndex(1, 0), 1, 0.3, 0.7)
+	c.MustSetRow(s.MustIndex(1, 1), 1, 0.7, 0.3)
+	subs, err := EpsilonSubsetsCPT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		switch sub.Key() {
+		case "gender", "race":
+			if sub.Result.Epsilon > 1e-9 {
+				t.Errorf("marginal %s eps = %v, expected 0 (gerrymandered)", sub.Key(), sub.Result.Epsilon)
+			}
+		case "gender,race":
+			want := math.Log(0.7 / 0.3)
+			if math.Abs(sub.Result.Epsilon-want) > 1e-9 {
+				t.Errorf("intersection eps = %v, want %v", sub.Result.Epsilon, want)
+			}
+		}
+	}
+}

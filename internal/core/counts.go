@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counts is a contingency table N[s][y] of outcome counts per
+// intersectional group, the sufficient statistic for empirical
+// differential fairness (Definition 4.2).
+type Counts struct {
+	space    *Space
+	outcomes []string
+	n        [][]float64
+}
+
+// NewCounts creates a zeroed contingency table.
+func NewCounts(space *Space, outcomes []string) (*Counts, error) {
+	if space == nil {
+		return nil, fmt.Errorf("core: nil space")
+	}
+	if len(outcomes) < 2 {
+		return nil, fmt.Errorf("core: need at least two outcomes, got %d", len(outcomes))
+	}
+	n := make([][]float64, space.Size())
+	for i := range n {
+		n[i] = make([]float64, len(outcomes))
+	}
+	return &Counts{space: space, outcomes: append([]string(nil), outcomes...), n: n}, nil
+}
+
+// MustCounts is NewCounts but panics on error.
+func MustCounts(space *Space, outcomes []string) *Counts {
+	c, err := NewCounts(space, outcomes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Space returns the protected-attribute space.
+func (c *Counts) Space() *Space { return c.space }
+
+// Outcomes returns a copy of the outcome labels.
+func (c *Counts) Outcomes() []string { return append([]string(nil), c.outcomes...) }
+
+// Add increments N[group][outcome] by delta (delta may be fractional for
+// weighted data). It errors on out-of-range indices or negative results.
+func (c *Counts) Add(group, outcome int, delta float64) error {
+	if group < 0 || group >= c.space.Size() {
+		return fmt.Errorf("core: group %d out of range", group)
+	}
+	if outcome < 0 || outcome >= len(c.outcomes) {
+		return fmt.Errorf("core: outcome %d out of range", outcome)
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("core: invalid delta %v", delta)
+	}
+	if c.n[group][outcome]+delta < 0 {
+		return fmt.Errorf("core: count for group %d outcome %d would become negative", group, outcome)
+	}
+	c.n[group][outcome] += delta
+	return nil
+}
+
+// MustAdd is Add but panics on error.
+func (c *Counts) MustAdd(group, outcome int, delta float64) {
+	if err := c.Add(group, outcome, delta); err != nil {
+		panic(err)
+	}
+}
+
+// Observe increments the count for one observation.
+func (c *Counts) Observe(group, outcome int) error { return c.Add(group, outcome, 1) }
+
+// N returns N[group][outcome].
+func (c *Counts) N(group, outcome int) float64 { return c.n[group][outcome] }
+
+// GroupTotal returns N_s = Σ_y N[s][y].
+func (c *Counts) GroupTotal(group int) float64 {
+	var sum float64
+	for _, v := range c.n[group] {
+		sum += v
+	}
+	return sum
+}
+
+// OutcomeTotal returns N_y = Σ_s N[s][y].
+func (c *Counts) OutcomeTotal(outcome int) float64 {
+	var sum float64
+	for g := range c.n {
+		sum += c.n[g][outcome]
+	}
+	return sum
+}
+
+// Total returns the number of observations N.
+func (c *Counts) Total() float64 {
+	var sum float64
+	for g := range c.n {
+		for _, v := range c.n[g] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Empirical converts counts to a CPT using the plug-in estimator of
+// Eq. 6: P(y|s) = N_{y,s} / N_s with group weights N_s / N. Groups with
+// N_s = 0 are unsupported, matching the paper's "whenever N_s > 0"
+// condition.
+func (c *Counts) Empirical() *CPT {
+	out := MustCPT(c.space, c.outcomes)
+	for g := range c.n {
+		ns := c.GroupTotal(g)
+		if ns <= 0 {
+			continue
+		}
+		probs := make([]float64, len(c.outcomes))
+		for y := range probs {
+			probs[y] = c.n[g][y] / ns
+		}
+		out.MustSetRow(g, ns, probs...)
+	}
+	return out
+}
+
+// Smoothed converts counts to a CPT using the Dirichlet-multinomial
+// posterior predictive of Eq. 7:
+//
+//	P(y|s) = (N_{y,s} + α) / (N_s + |Y|·α)
+//
+// with a symmetric Dirichlet prior of per-outcome pseudo-count α > 0.
+// Groups with N_s = 0 remain unsupported unless includeEmpty is true, in
+// which case they receive the prior-predictive uniform distribution with
+// an infinitesimal positive weight so they participate in ε.
+func (c *Counts) Smoothed(alpha float64, includeEmpty bool) (*CPT, error) {
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("core: smoothing requires alpha > 0, got %v", alpha)
+	}
+	out := MustCPT(c.space, c.outcomes)
+	k := float64(len(c.outcomes))
+	for g := range c.n {
+		ns := c.GroupTotal(g)
+		if ns <= 0 && !includeEmpty {
+			continue
+		}
+		probs := make([]float64, len(c.outcomes))
+		for y := range probs {
+			probs[y] = (c.n[g][y] + alpha) / (ns + k*alpha)
+		}
+		w := ns
+		if w <= 0 {
+			w = math.SmallestNonzeroFloat64
+		}
+		if err := out.SetRow(g, w, probs...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Marginalize aggregates counts over the named subset of attributes by
+// summation. Empirical ε of the result realizes the paper's Table 2
+// computation per attribute subset.
+func (c *Counts) Marginalize(names ...string) (*Counts, error) {
+	sub, positions, err := c.space.Subset(names...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := NewCounts(sub, c.outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for g := range c.n {
+		d := c.space.Project(g, sub, positions)
+		for y, v := range c.n[g] {
+			out.n[d][y] += v
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (c *Counts) Clone() *Counts {
+	out := MustCounts(c.space, c.outcomes)
+	for g := range c.n {
+		copy(out.n[g], c.n[g])
+	}
+	return out
+}
+
+// FromObservations builds Counts from parallel slices of group and
+// outcome indices.
+func FromObservations(space *Space, outcomes []string, groups, ys []int) (*Counts, error) {
+	if len(groups) != len(ys) {
+		return nil, fmt.Errorf("core: %d groups vs %d outcomes", len(groups), len(ys))
+	}
+	c, err := NewCounts(space, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range groups {
+		if err := c.Observe(groups[i], ys[i]); err != nil {
+			return nil, fmt.Errorf("core: observation %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

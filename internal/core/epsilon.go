@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Witness records the outcome and group pair achieving the maximal
+// probability ratio — the intersections the mechanism treats most
+// differently.
+type Witness struct {
+	Outcome int // index into the CPT's outcomes
+	GroupHi int // the group with the higher P(y|s)
+	GroupLo int // the group with the lower P(y|s)
+}
+
+// EpsilonResult is the measured differential-fairness parameter for one
+// CPT (one θ) or a framework (a set Θ).
+type EpsilonResult struct {
+	// Epsilon is the smallest ε such that Definition 3.1 holds; +Inf if
+	// some supported group assigns probability 0 to an outcome another
+	// supported group assigns positive probability.
+	Epsilon float64
+	// Witness identifies a maximizing (y, si, sj) triple.
+	Witness Witness
+	// Finite is false when Epsilon is +Inf.
+	Finite bool
+}
+
+// Epsilon computes the differential-fairness parameter of a CPT: the
+// maximum over outcomes y and supported group pairs (si, sj) of
+// |ln P(y|si) − ln P(y|sj)| (Definition 3.1 restricted to a single θ).
+//
+// Outcome probabilities that are zero for every supported group are
+// skipped (the ratio 0/0 carries no fairness information); a zero against
+// a positive probability yields ε = +Inf with Finite=false.
+func Epsilon(c *CPT) (EpsilonResult, error) {
+	if err := c.Validate(); err != nil {
+		return EpsilonResult{}, err
+	}
+	groups := c.SupportedGroups()
+	res := EpsilonResult{Epsilon: 0, Finite: true}
+	for y := 0; y < c.NumOutcomes(); y++ {
+		// For a fixed outcome the maximal |log ratio| over pairs is
+		// log(max) − log(min), so a single scan suffices.
+		hiG, loG := -1, -1
+		hiP, loP := math.Inf(-1), math.Inf(1)
+		anyPositive := false
+		for _, g := range groups {
+			p := c.Prob(g, y)
+			if p > 0 {
+				anyPositive = true
+			}
+			if p > hiP {
+				hiP, hiG = p, g
+			}
+			if p < loP {
+				loP, loG = p, g
+			}
+		}
+		if !anyPositive {
+			continue // outcome unreachable for all groups: skip
+		}
+		if loP == 0 {
+			return EpsilonResult{
+				Epsilon: math.Inf(1),
+				Witness: Witness{Outcome: y, GroupHi: hiG, GroupLo: loG},
+				Finite:  false,
+			}, nil
+		}
+		if d := math.Log(hiP) - math.Log(loP); d > res.Epsilon {
+			res.Epsilon = d
+			res.Witness = Witness{Outcome: y, GroupHi: hiG, GroupLo: loG}
+		}
+	}
+	return res, nil
+}
+
+// MustEpsilon is Epsilon but panics on error.
+func MustEpsilon(c *CPT) EpsilonResult {
+	r, err := Epsilon(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FrameworkEpsilon computes ε for a framework (A, Θ) where Θ is given as
+// a set of CPTs sharing a space and outcome labels: the supremum of ε
+// over θ ∈ Θ (Definition 3.1).
+func FrameworkEpsilon(thetas []*CPT) (EpsilonResult, error) {
+	if len(thetas) == 0 {
+		return EpsilonResult{}, fmt.Errorf("core: empty framework")
+	}
+	var out EpsilonResult
+	for i, c := range thetas {
+		if i > 0 {
+			if c.Space() != thetas[0].Space() && c.Space().Size() != thetas[0].Space().Size() {
+				return EpsilonResult{}, fmt.Errorf("core: framework CPT %d has mismatched space", i)
+			}
+		}
+		r, err := Epsilon(c)
+		if err != nil {
+			return EpsilonResult{}, fmt.Errorf("core: framework CPT %d: %w", i, err)
+		}
+		if i == 0 || r.Epsilon > out.Epsilon {
+			out = r
+		}
+	}
+	return out, nil
+}
+
+// SubsetEpsilon is the ε measured for one subset of the protected
+// attributes, as in the paper's Table 2.
+type SubsetEpsilon struct {
+	Attrs  []string
+	Result EpsilonResult
+}
+
+// Key renders the subset as a comma-joined attribute list.
+func (s SubsetEpsilon) Key() string { return strings.Join(s.Attrs, ",") }
+
+// EpsilonSubsetsCPT computes ε for every nonempty subset of the protected
+// attributes by marginalizing the CPT (model-based analysis). By Theorem
+// 3.2 every returned ε is at most 2× the full-space ε.
+func EpsilonSubsetsCPT(c *CPT) ([]SubsetEpsilon, error) {
+	var out []SubsetEpsilon
+	for _, names := range c.Space().SubsetNames() {
+		m := c
+		if len(names) < c.Space().NumAttrs() {
+			var err error
+			m, err = c.Marginalize(names...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		r, err := Epsilon(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: subset %v: %w", names, err)
+		}
+		out = append(out, SubsetEpsilon{Attrs: names, Result: r})
+	}
+	return out, nil
+}
+
+// EpsilonSubsetsCounts computes empirical ε (Eq. 6) for every nonempty
+// subset of the protected attributes by aggregating counts, the
+// computation behind the paper's Table 2. If alpha > 0 the smoothed
+// estimator (Eq. 7) is used instead.
+func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
+	var out []SubsetEpsilon
+	for _, names := range c.Space().SubsetNames() {
+		m, err := c.Marginalize(names...)
+		if err != nil {
+			return nil, err
+		}
+		var cpt *CPT
+		if alpha > 0 {
+			cpt, err = m.Smoothed(alpha, false)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			cpt = m.Empirical()
+		}
+		r, err := Epsilon(cpt)
+		if err != nil {
+			return nil, fmt.Errorf("core: subset %v: %w", names, err)
+		}
+		out = append(out, SubsetEpsilon{Attrs: names, Result: r})
+	}
+	return out, nil
+}
+
+// SortSubsetsByEpsilon orders subset results by increasing ε (ties by
+// key), the presentation order of the paper's Table 2.
+func SortSubsetsByEpsilon(subs []SubsetEpsilon) {
+	sort.SliceStable(subs, func(i, j int) bool {
+		if subs[i].Result.Epsilon != subs[j].Result.Epsilon {
+			return subs[i].Result.Epsilon < subs[j].Result.Epsilon
+		}
+		return subs[i].Key() < subs[j].Key()
+	})
+}
+
+// BiasAmplification returns ε_mechanism − ε_data (Section 4.1): the
+// additional unfairness a mechanism M2 (e.g. a trained classifier)
+// introduces over the bias already present in the data it was trained on.
+// Positive values mean the mechanism amplified the data's bias.
+func BiasAmplification(mechanism, data EpsilonResult) float64 {
+	return mechanism.Epsilon - data.Epsilon
+}
+
+// SubsetBound returns the worst-case ε guaranteed for any nonempty proper
+// subset of the protected attributes by Theorem 3.2, namely 2ε.
+func SubsetBound(full EpsilonResult) float64 {
+	return 2 * full.Epsilon
+}

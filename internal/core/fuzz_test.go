@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEpsilonFromCounts drives arbitrary count tables through the whole
+// measurement pipeline: Epsilon must never panic, the smoothed estimator
+// must always be finite, and Theorem 3.2 must hold whenever the full ε
+// is finite.
+func FuzzEpsilonFromCounts(f *testing.F) {
+	f.Add([]byte{10, 5, 3, 8, 1, 0, 0, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 1, 1, 0, 255, 255, 0})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		space := MustSpace(
+			Attr{Name: "a", Values: []string{"0", "1"}},
+			Attr{Name: "b", Values: []string{"0", "1"}},
+		)
+		counts := MustCounts(space, []string{"no", "yes"})
+		for i, v := range raw {
+			if i >= 8 {
+				break
+			}
+			counts.MustAdd(i/2, i%2, float64(v))
+		}
+		emp := counts.Empirical()
+		res, err := Epsilon(emp)
+		if err != nil {
+			return // fewer than two populated groups: a legitimate rejection
+		}
+		if math.IsNaN(res.Epsilon) || res.Epsilon < 0 {
+			t.Fatalf("invalid epsilon %v", res.Epsilon)
+		}
+		sm, err := counts.Smoothed(1, false)
+		if err != nil {
+			t.Fatalf("smoothing failed: %v", err)
+		}
+		smRes, err := Epsilon(sm)
+		if err != nil {
+			t.Fatalf("smoothed epsilon failed: %v", err)
+		}
+		if !smRes.Finite {
+			t.Fatalf("smoothed epsilon infinite on counts %v", raw)
+		}
+		if !res.Finite {
+			return // subset theorem only asserted for finite full epsilon
+		}
+		subs, err := EpsilonSubsetsCounts(counts, 0)
+		if err != nil {
+			t.Fatalf("subsets failed: %v", err)
+		}
+		for _, sub := range subs {
+			if sub.Result.Epsilon > 2*res.Epsilon+1e-9 {
+				t.Fatalf("Theorem 3.2 violated on fuzz input %v: subset %v has %v > 2*%v",
+					raw, sub.Attrs, sub.Result.Epsilon, res.Epsilon)
+			}
+		}
+	})
+}

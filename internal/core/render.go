@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// String renders the CPT as an aligned table of P(outcome | group) with
+// weights, for debugging and reports.
+func (c *CPT) String() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "group\tweight\t%s\n", strings.Join(c.outcomes, "\t"))
+	for g := 0; g < c.space.Size(); g++ {
+		if !c.Supported(g) {
+			continue
+		}
+		cells := make([]string, len(c.outcomes))
+		for y := range cells {
+			cells[y] = fmt.Sprintf("%.4f", c.p[g][y])
+		}
+		fmt.Fprintf(w, "%s\t%.4g\t%s\n", c.space.Label(g), c.weight[g], strings.Join(cells, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// String renders the contingency table with group totals.
+func (c *Counts) String() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "group\t%s\ttotal\n", strings.Join(c.outcomes, "\t"))
+	for g := 0; g < c.space.Size(); g++ {
+		total := c.GroupTotal(g)
+		if total == 0 {
+			continue
+		}
+		cells := make([]string, len(c.outcomes))
+		for y := range cells {
+			cells[y] = fmt.Sprintf("%g", c.n[g][y])
+		}
+		fmt.Fprintf(w, "%s\t%s\t%g\n", c.space.Label(g), strings.Join(cells, "\t"), total)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// String summarizes the measurement: value, regime and witness.
+func (e EpsilonResult) String() string {
+	if !e.Finite {
+		return fmt.Sprintf("eps=inf (outcome %d separates groups %d and %d)",
+			e.Witness.Outcome, e.Witness.GroupHi, e.Witness.GroupLo)
+	}
+	return fmt.Sprintf("eps=%.4f (ratio bound e^eps=%.3f; witness outcome %d, groups %d over %d)",
+		e.Epsilon, math.Exp(e.Epsilon), e.Witness.Outcome, e.Witness.GroupHi, e.Witness.GroupLo)
+}

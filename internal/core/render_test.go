@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCPTString(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCPT(s, []string{"no", "yes"})
+	c.MustSetRow(0, 2, 0.25, 0.75)
+	c.MustSetRow(1, 1, 0.5, 0.5)
+	out := c.String()
+	for _, want := range []string{"group=1", "group=2", "0.7500", "no", "yes", "weight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CPT render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCPTStringSkipsUnsupported(t *testing.T) {
+	s := MustSpace(Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	c := MustCPT(s, []string{"no", "yes"})
+	c.MustSetRow(0, 1, 0.5, 0.5)
+	c.MustSetRow(1, 1, 0.5, 0.5)
+	out := c.String()
+	if strings.Contains(out, "g=c") {
+		t.Errorf("unsupported group rendered:\n%s", out)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCounts(s, []string{"no", "yes"})
+	c.MustAdd(0, 0, 3)
+	c.MustAdd(0, 1, 7)
+	out := c.String()
+	for _, want := range []string{"group=1", "3", "7", "10", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Counts render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "group=2") {
+		t.Errorf("empty group rendered:\n%s", out)
+	}
+}
+
+func TestEpsilonResultString(t *testing.T) {
+	finite := EpsilonResult{Epsilon: 1.5, Finite: true, Witness: Witness{Outcome: 1, GroupHi: 2, GroupLo: 0}}
+	if out := finite.String(); !strings.Contains(out, "1.5000") || !strings.Contains(out, "outcome 1") {
+		t.Errorf("finite render: %s", out)
+	}
+	infinite := EpsilonResult{Finite: false, Witness: Witness{Outcome: 0, GroupHi: 1, GroupLo: 2}}
+	if out := infinite.String(); !strings.Contains(out, "inf") {
+		t.Errorf("infinite render: %s", out)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FromScoredObservations builds outcome counts from continuous scores in
+// [0, 1] by equal-width binning: the outcome space becomes the score
+// bins. Definition 3.1 places no restriction on Range(M), so DF applies
+// to a model's score distribution just as to its hard decisions; the
+// binned-score ε detects disparities a 0.5-thresholded analysis hides
+// (e.g. one group consistently scored just below every approval cutoff).
+func FromScoredObservations(space *Space, groups []int, scores []float64, bins int) (*Counts, error) {
+	if len(groups) != len(scores) {
+		return nil, fmt.Errorf("core: %d groups vs %d scores", len(groups), len(scores))
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("core: need at least 2 score bins, got %d", bins)
+	}
+	outcomes := make([]string, bins)
+	for b := range outcomes {
+		outcomes[b] = fmt.Sprintf("[%.2f,%.2f)", float64(b)/float64(bins), float64(b+1)/float64(bins))
+	}
+	counts, err := NewCounts(space, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			return nil, fmt.Errorf("core: score %v at row %d outside [0,1]", s, i)
+		}
+		b := int(s * float64(bins))
+		if b == bins {
+			b--
+		}
+		if err := counts.Observe(groups[i], b); err != nil {
+			return nil, fmt.Errorf("core: row %d: %w", i, err)
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFromScoredObservationsBinning(t *testing.T) {
+	s := binarySpace(t)
+	groups := []int{0, 0, 0, 1, 1, 1}
+	scores := []float64{0.05, 0.49, 0.51, 0.95, 1.0, 0.0}
+	counts, err := FromScoredObservations(s, groups, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counts.N(0, 0); got != 2 { // 0.05, 0.49
+		t.Errorf("group 0 low bin = %v", got)
+	}
+	if got := counts.N(0, 1); got != 1 { // 0.51
+		t.Errorf("group 0 high bin = %v", got)
+	}
+	// Score 1.0 lands in the top bin, 0.0 in the bottom.
+	if got := counts.N(1, 1); got != 2 {
+		t.Errorf("group 1 high bin = %v", got)
+	}
+	if got := counts.N(1, 0); got != 1 {
+		t.Errorf("group 1 low bin = %v", got)
+	}
+}
+
+func TestFromScoredObservationsValidation(t *testing.T) {
+	s := binarySpace(t)
+	if _, err := FromScoredObservations(s, []int{0}, []float64{0.5, 0.5}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromScoredObservations(s, []int{0}, []float64{0.5}, 1); err == nil {
+		t.Error("single bin accepted")
+	}
+	if _, err := FromScoredObservations(s, []int{0}, []float64{1.5}, 2); err == nil {
+		t.Error("out-of-range score accepted")
+	}
+	if _, err := FromScoredObservations(s, []int{0}, []float64{math.NaN()}, 2); err == nil {
+		t.Error("NaN score accepted")
+	}
+	if _, err := FromScoredObservations(s, []int{9}, []float64{0.5}, 2); err == nil {
+		t.Error("bad group accepted")
+	}
+}
+
+// TestScoreDFCatchesSubThresholdDisparity: two groups with identical
+// hard decisions at threshold 0.5 but very different score placement —
+// the binned-score ε exposes what the binary ε misses.
+func TestScoreDFCatchesSubThresholdDisparity(t *testing.T) {
+	s := binarySpace(t)
+	r := rng.New(501)
+	var groups []int
+	var scores []float64
+	var hard []int
+	for i := 0; i < 20000; i++ {
+		g := r.Intn(2)
+		var score float64
+		if g == 0 {
+			// Group a: scores uniform on [0.3, 0.5) ∪ [0.5, 0.7) evenly.
+			score = 0.3 + 0.4*r.Float64()
+		} else {
+			// Group b: scores at the extremes, same mass on each side of 0.5.
+			if r.Bool(0.5) {
+				score = 0.05 * r.Float64()
+			} else {
+				score = 0.95 + 0.05*r.Float64()
+			}
+		}
+		groups = append(groups, g)
+		scores = append(scores, score)
+		if score >= 0.5 {
+			hard = append(hard, 1)
+		} else {
+			hard = append(hard, 0)
+		}
+	}
+	// Hard-decision DF: both groups approved about half the time.
+	space := s
+	hardCounts, err := FromObservations(space, []string{"no", "yes"}, groups, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardEps := MustEpsilon(hardCounts.Empirical())
+	if hardEps.Epsilon > 0.15 {
+		t.Fatalf("hard-decision eps %v should look fair by construction", hardEps.Epsilon)
+	}
+	// Binned-score DF: the distributions barely overlap.
+	scoreCounts, err := FromScoredObservations(space, groups, scores, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := scoreCounts.Smoothed(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreEps := MustEpsilon(sm)
+	if scoreEps.Epsilon < 2 {
+		t.Fatalf("binned-score eps %v should expose the disparity", scoreEps.Epsilon)
+	}
+}

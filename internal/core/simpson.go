@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// SimpsonReversal describes one Simpson's-paradox reversal detected in a
+// contingency table (Section 5.1): the direction of the association
+// between a binary outcome and one protected attribute flips between the
+// aggregate table and every stratum of a second attribute.
+type SimpsonReversal struct {
+	// Attr is the attribute whose outcome association reverses.
+	Attr string
+	// Conditioned is the stratifying attribute.
+	Conditioned string
+	// ValueHi and ValueLo are the two compared values of Attr.
+	ValueHi, ValueLo string
+	// Outcome is the outcome index whose conditional probability is
+	// compared.
+	Outcome int
+	// AggregateDiff is P(y|ValueHi) − P(y|ValueLo) in the aggregate.
+	AggregateDiff float64
+	// StratumDiffs are the same differences within each stratum of
+	// Conditioned; under a reversal they all have the opposite sign of
+	// AggregateDiff.
+	StratumDiffs []float64
+}
+
+// DetectSimpsonReversals scans a two-attribute contingency table for
+// Simpson reversals of the given outcome: pairs of values of one
+// attribute whose aggregate ordering is the opposite of the ordering in
+// every stratum of the other attribute. Strata or aggregates with zero
+// observations for either compared value are skipped.
+//
+// Only exact strict reversals are reported (strictly opposite sign in
+// every stratum), matching the textbook definition the paper cites.
+func DetectSimpsonReversals(c *Counts, outcome int) ([]SimpsonReversal, error) {
+	space := c.Space()
+	if space.NumAttrs() != 2 {
+		return nil, fmt.Errorf("core: Simpson detection needs exactly 2 attributes, got %d", space.NumAttrs())
+	}
+	if outcome < 0 || outcome >= len(c.outcomes) {
+		return nil, fmt.Errorf("core: outcome %d out of range", outcome)
+	}
+	attrs := space.Attrs()
+	var out []SimpsonReversal
+	for a := 0; a < 2; a++ {
+		b := 1 - a
+		attrA, attrB := attrs[a], attrs[b]
+		// Aggregate rate of the outcome per value of attribute a.
+		aggRate := make([]float64, attrA.Cardinality())
+		aggOK := make([]bool, attrA.Cardinality())
+		for va := 0; va < attrA.Cardinality(); va++ {
+			var hit, tot float64
+			for vb := 0; vb < attrB.Cardinality(); vb++ {
+				g := groupIndex2(space, a, va, vb)
+				hit += c.n[g][outcome]
+				tot += c.GroupTotal(g)
+			}
+			if tot > 0 {
+				aggRate[va] = hit / tot
+				aggOK[va] = true
+			}
+		}
+		for v1 := 0; v1 < attrA.Cardinality(); v1++ {
+			for v2 := v1 + 1; v2 < attrA.Cardinality(); v2++ {
+				if !aggOK[v1] || !aggOK[v2] {
+					continue
+				}
+				aggDiff := aggRate[v1] - aggRate[v2]
+				if aggDiff == 0 {
+					continue
+				}
+				reversed := true
+				var diffs []float64
+				for vb := 0; vb < attrB.Cardinality(); vb++ {
+					g1 := groupIndex2(space, a, v1, vb)
+					g2 := groupIndex2(space, a, v2, vb)
+					t1, t2 := c.GroupTotal(g1), c.GroupTotal(g2)
+					if t1 == 0 || t2 == 0 {
+						reversed = false
+						break
+					}
+					d := c.n[g1][outcome]/t1 - c.n[g2][outcome]/t2
+					diffs = append(diffs, d)
+					if d*aggDiff >= 0 { // same sign or zero: not a strict reversal
+						reversed = false
+						break
+					}
+				}
+				if reversed {
+					hi, lo := v1, v2
+					if aggDiff < 0 {
+						hi, lo = v2, v1
+						aggDiff = -aggDiff
+						for i := range diffs {
+							diffs[i] = -diffs[i]
+						}
+					}
+					out = append(out, SimpsonReversal{
+						Attr:          attrA.Name,
+						Conditioned:   attrB.Name,
+						ValueHi:       attrA.Values[hi],
+						ValueLo:       attrA.Values[lo],
+						Outcome:       outcome,
+						AggregateDiff: aggDiff,
+						StratumDiffs:  diffs,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// groupIndex2 builds a full group index for a 2-attribute space given the
+// position of attribute a, its value va, and the other attribute's value
+// vb.
+func groupIndex2(space *Space, a, va, vb int) int {
+	vals := make([]int, 2)
+	vals[a] = va
+	vals[1-a] = vb
+	return space.MustIndex(vals...)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimpsonReversalTable1 detects the paper's Section 5.1 reversal:
+// gender A is admitted more often than gender B within each race, yet
+// gender B is admitted more often overall.
+func TestSimpsonReversalTable1(t *testing.T) {
+	counts := table1Counts(t)
+	revs, err := DetectSimpsonReversals(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genderRev *SimpsonReversal
+	for i := range revs {
+		if revs[i].Attr == "gender" {
+			genderRev = &revs[i]
+		}
+	}
+	if genderRev == nil {
+		t.Fatalf("no gender reversal detected; got %+v", revs)
+	}
+	if genderRev.Conditioned != "race" {
+		t.Errorf("conditioned attribute = %q", genderRev.Conditioned)
+	}
+	// Aggregate favors B: 289/350 vs 273/350.
+	if genderRev.ValueHi != "B" || genderRev.ValueLo != "A" {
+		t.Errorf("aggregate direction: hi=%q lo=%q", genderRev.ValueHi, genderRev.ValueLo)
+	}
+	wantAgg := 289.0/350 - 273.0/350
+	if math.Abs(genderRev.AggregateDiff-wantAgg) > 1e-12 {
+		t.Errorf("AggregateDiff = %v, want %v", genderRev.AggregateDiff, wantAgg)
+	}
+	if len(genderRev.StratumDiffs) != 2 {
+		t.Fatalf("StratumDiffs = %v", genderRev.StratumDiffs)
+	}
+	for _, d := range genderRev.StratumDiffs {
+		if d >= 0 {
+			t.Errorf("stratum diff %v should be negative (A beats B within strata)", d)
+		}
+	}
+}
+
+func TestNoReversalWhenConsistent(t *testing.T) {
+	s := MustSpace(
+		Attr{Name: "g", Values: []string{"a", "b"}},
+		Attr{Name: "h", Values: []string{"x", "y"}},
+	)
+	c := MustCounts(s, []string{"no", "yes"})
+	// g=a strictly better within every stratum and in aggregate.
+	c.MustAdd(s.MustIndex(0, 0), 1, 90)
+	c.MustAdd(s.MustIndex(0, 0), 0, 10)
+	c.MustAdd(s.MustIndex(0, 1), 1, 80)
+	c.MustAdd(s.MustIndex(0, 1), 0, 20)
+	c.MustAdd(s.MustIndex(1, 0), 1, 50)
+	c.MustAdd(s.MustIndex(1, 0), 0, 50)
+	c.MustAdd(s.MustIndex(1, 1), 1, 40)
+	c.MustAdd(s.MustIndex(1, 1), 0, 60)
+	revs, err := DetectSimpsonReversals(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range revs {
+		if r.Attr == "g" {
+			t.Fatalf("false positive reversal: %+v", r)
+		}
+	}
+}
+
+func TestSimpsonValidation(t *testing.T) {
+	s := MustSpace(
+		Attr{Name: "a", Values: []string{"0", "1"}},
+		Attr{Name: "b", Values: []string{"0", "1"}},
+		Attr{Name: "c", Values: []string{"0", "1"}},
+	)
+	c := MustCounts(s, []string{"no", "yes"})
+	if _, err := DetectSimpsonReversals(c, 1); err == nil {
+		t.Error("3-attribute table accepted")
+	}
+	counts := table1Counts(t)
+	if _, err := DetectSimpsonReversals(counts, 5); err == nil {
+		t.Error("bad outcome accepted")
+	}
+}
+
+func TestSimpsonSkipsEmptyStrata(t *testing.T) {
+	s := MustSpace(
+		Attr{Name: "g", Values: []string{"a", "b"}},
+		Attr{Name: "h", Values: []string{"x", "y"}},
+	)
+	c := MustCounts(s, []string{"no", "yes"})
+	// Stratum y has no observations for g=b: no reversal is claimable.
+	c.MustAdd(s.MustIndex(0, 0), 1, 5)
+	c.MustAdd(s.MustIndex(0, 0), 0, 5)
+	c.MustAdd(s.MustIndex(1, 0), 1, 9)
+	c.MustAdd(s.MustIndex(1, 0), 0, 1)
+	c.MustAdd(s.MustIndex(0, 1), 1, 1)
+	c.MustAdd(s.MustIndex(0, 1), 0, 9)
+	revs, err := DetectSimpsonReversals(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range revs {
+		if r.Attr == "g" {
+			t.Fatalf("reversal claimed despite empty stratum: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package datasets embeds the small worked-example datasets of the
+// paper: the Table 1 university-admissions contingency table (a fairness
+// re-telling of the classic kidney-stone Simpson's-paradox data), the
+// original kidney-stone treatment table it derives from (Charig et al.
+// 1986, as cited by the paper), and a small synthetic lending table used
+// by the quickstart example.
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// AdmissionsSpace returns the Table 1 protected-attribute space:
+// gender {A, B} × race {1, 2}.
+func AdmissionsSpace() *core.Space {
+	return core.MustSpace(
+		core.Attr{Name: "gender", Values: []string{"A", "B"}},
+		core.Attr{Name: "race", Values: []string{"1", "2"}},
+	)
+}
+
+// AdmissionsOutcomes are the Table 1 outcome labels.
+var AdmissionsOutcomes = []string{"decline", "admit"}
+
+// admissionsCells holds the Table 1 counts: admitted / total per
+// (gender, race) cell, exactly as printed in the paper.
+var admissionsCells = []struct {
+	gender, race    int
+	admitted, total float64
+}{
+	{0, 0, 81, 87},   // gender A, race 1: 81/87
+	{1, 0, 234, 270}, // gender B, race 1: 234/270
+	{0, 1, 192, 263}, // gender A, race 2: 192/263
+	{1, 1, 55, 80},   // gender B, race 2: 55/80
+}
+
+// Admissions returns the paper's Table 1 as a contingency table. Its
+// empirical DF values are ε = 1.511 intersectionally, 0.2329 for gender
+// alone and 0.8667 for race alone.
+func Admissions() *core.Counts {
+	space := AdmissionsSpace()
+	counts := core.MustCounts(space, AdmissionsOutcomes)
+	for _, c := range admissionsCells {
+		idx := space.MustIndex(c.gender, c.race)
+		counts.MustAdd(idx, 1, c.admitted)
+		counts.MustAdd(idx, 0, c.total-c.admitted)
+	}
+	return counts
+}
+
+// KidneyStoneSpace returns the original medical framing: treatment
+// {A, B} × stone size {small, large}.
+func KidneyStoneSpace() *core.Space {
+	return core.MustSpace(
+		core.Attr{Name: "treatment", Values: []string{"A", "B"}},
+		core.Attr{Name: "stone", Values: []string{"small", "large"}},
+	)
+}
+
+// KidneyStone returns the Charig et al. kidney-stone data the admissions
+// table is adapted from: treatment A beats B within both stone sizes yet
+// loses in aggregate — the same counts as Admissions under the medical
+// labels (success 81/87, 234/270, 192/263, 55/80).
+func KidneyStone() *core.Counts {
+	space := KidneyStoneSpace()
+	counts := core.MustCounts(space, []string{"failure", "success"})
+	for _, c := range admissionsCells {
+		idx := space.MustIndex(c.gender, c.race)
+		counts.MustAdd(idx, 1, c.admitted)
+		counts.MustAdd(idx, 0, c.total-c.admitted)
+	}
+	return counts
+}
+
+// LendingSpace returns the toy lending example's space: gender × race,
+// the loan-decision setting the paper's introduction and §3.3 use.
+func LendingSpace() *core.Space {
+	return core.MustSpace(
+		core.Attr{Name: "gender", Values: []string{"male", "female"}},
+		core.Attr{Name: "race", Values: []string{"white", "black"}},
+	)
+}
+
+// Lending returns a small synthetic loan-approval table exhibiting the
+// §3.3 scenario: white men are approved at three times the rate of white
+// women, so ε is about ln 3 and the expected-utility disparity factor is
+// about 3.
+func Lending() *core.Counts {
+	space := LendingSpace()
+	counts := core.MustCounts(space, []string{"deny", "approve"})
+	set := func(g, r int, approved, total float64) {
+		idx := space.MustIndex(g, r)
+		counts.MustAdd(idx, 1, approved)
+		counts.MustAdd(idx, 0, total-approved)
+	}
+	set(0, 0, 360, 600) // white men: 60% approved
+	set(0, 1, 160, 400) // black men: 40%
+	set(1, 0, 120, 600) // white women: 20%
+	set(1, 1, 90, 400)  // black women: 22.5%
+	return counts
+}
+
+// ByName returns a named embedded dataset, for the CLI.
+func ByName(name string) (*core.Counts, error) {
+	switch name {
+	case "admissions":
+		return Admissions(), nil
+	case "kidney":
+		return KidneyStone(), nil
+	case "lending":
+		return Lending(), nil
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q (have admissions, kidney, lending)", name)
+}

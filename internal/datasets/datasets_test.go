@@ -1,0 +1,120 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAdmissionsMatchesTable1Exactly(t *testing.T) {
+	counts := Admissions()
+	space := counts.Space()
+	// Every cell as printed in the paper.
+	cases := []struct {
+		g, r            int
+		admitted, total float64
+	}{
+		{0, 0, 81, 87}, {1, 0, 234, 270}, {0, 1, 192, 263}, {1, 1, 55, 80},
+	}
+	for _, c := range cases {
+		idx := space.MustIndex(c.g, c.r)
+		if got := counts.N(idx, 1); got != c.admitted {
+			t.Errorf("cell (%d,%d) admitted = %v, want %v", c.g, c.r, got, c.admitted)
+		}
+		if got := counts.GroupTotal(idx); got != c.total {
+			t.Errorf("cell (%d,%d) total = %v, want %v", c.g, c.r, got, c.total)
+		}
+	}
+	// Overall row/column totals from the paper: 273/350, 289/350, 315/357, 247/343.
+	gender, err := counts.Marginalize("gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gender.N(0, 1) != 273 || gender.GroupTotal(0) != 350 {
+		t.Error("gender A overall mismatch")
+	}
+	if gender.N(1, 1) != 289 || gender.GroupTotal(1) != 350 {
+		t.Error("gender B overall mismatch")
+	}
+}
+
+func TestAdmissionsEpsilons(t *testing.T) {
+	counts := Admissions()
+	full := core.MustEpsilon(counts.Empirical())
+	if math.Abs(full.Epsilon-1.511) > 5e-4 {
+		t.Errorf("intersectional epsilon = %v, paper 1.511", full.Epsilon)
+	}
+	g, _ := counts.Marginalize("gender")
+	if eps := core.MustEpsilon(g.Empirical()).Epsilon; math.Abs(eps-0.2329) > 5e-4 {
+		t.Errorf("gender epsilon = %v, paper 0.2329", eps)
+	}
+	r, _ := counts.Marginalize("race")
+	if eps := core.MustEpsilon(r.Empirical()).Epsilon; math.Abs(eps-0.8667) > 5e-4 {
+		t.Errorf("race epsilon = %v, paper 0.8667", eps)
+	}
+}
+
+func TestAdmissionsSimpsonReversal(t *testing.T) {
+	revs, err := core.DetectSimpsonReversals(Admissions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range revs {
+		if r.Attr == "gender" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Table 1 should exhibit a gender reversal")
+	}
+}
+
+func TestKidneyStoneSameNumbers(t *testing.T) {
+	k := KidneyStone()
+	a := Admissions()
+	if k.Total() != a.Total() {
+		t.Fatal("kidney and admissions totals differ")
+	}
+	kEps := core.MustEpsilon(k.Empirical()).Epsilon
+	aEps := core.MustEpsilon(a.Empirical()).Epsilon
+	if math.Abs(kEps-aEps) > 1e-12 {
+		t.Fatalf("relabeled data changed epsilon: %v vs %v", kEps, aEps)
+	}
+}
+
+func TestLendingScenario(t *testing.T) {
+	counts := Lending()
+	cpt := counts.Empirical()
+	space := counts.Space()
+	wm := space.MustIndex(0, 0)
+	ww := space.MustIndex(1, 0)
+	// White men approved at 3x the white-women rate, as in §3.3.
+	if got := cpt.Prob(wm, 1) / cpt.Prob(ww, 1); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("approval ratio = %v, want 3", got)
+	}
+	disparity, err := core.UtilityDisparity(cpt, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(disparity-3) > 1e-12 {
+		t.Fatalf("utility disparity = %v, want 3", disparity)
+	}
+	eps := core.MustEpsilon(cpt)
+	if eps.Epsilon < math.Log(3)-1e-9 {
+		t.Fatalf("epsilon %v below ln 3", eps.Epsilon)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"admissions", "kidney", "lending"} {
+		c, err := ByName(name)
+		if err != nil || c == nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

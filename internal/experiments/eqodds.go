@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/census"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/repair"
+)
+
+// EqualizedOddsRow compares marginal DF with the equalized-odds analogue
+// for one feature configuration.
+type EqualizedOddsRow struct {
+	Features string
+	// MarginalEps is the ordinary DF of predictions (the Table 3 value).
+	MarginalEps float64
+	// EqOddsEps is the max-over-strata conditional ε (§7.1 extension).
+	EqOddsEps float64
+	// PositiveStratumEps / NegativeStratumEps break the maximum down.
+	PositiveStratumEps float64
+	NegativeStratumEps float64
+}
+
+// EqualizedOddsResult is the §7.1 extension experiment: the same census
+// classifiers as Table 3, measured under the equalized-odds analogue of
+// differential fairness.
+type EqualizedOddsResult struct {
+	Rows []EqualizedOddsRow
+}
+
+// EqualizedOdds runs the comparison for the "none" and "all protected"
+// configurations of the Table 3 sweep.
+func EqualizedOdds(cfg census.Config, logistic classify.LogisticConfig) (EqualizedOddsResult, error) {
+	train, test, err := census.Generate(cfg)
+	if err != nil {
+		return EqualizedOddsResult{}, err
+	}
+	space := census.Space()
+	groups := census.Groups(test)
+	var out EqualizedOddsResult
+	for _, features := range [][]string{nil, {"gender", "race", "nationality"}} {
+		key := "none"
+		if len(features) > 0 {
+			key = strings.Join(features, ",")
+		}
+		dsTrain, moments, err := census.Dataset(train, features, nil)
+		if err != nil {
+			return out, err
+		}
+		dsTest, _, err := census.Dataset(test, features, moments)
+		if err != nil {
+			return out, err
+		}
+		model, err := classify.TrainLogistic(dsTrain, logistic)
+		if err != nil {
+			return out, err
+		}
+		preds := model.PredictAll(dsTest.X)
+		labeled, err := core.FromLabeledObservations(space,
+			census.IncomeValues, []string{"pred<=50K", "pred>50K"},
+			groups, dsTest.Y, preds)
+		if err != nil {
+			return out, err
+		}
+		marginalCPT, err := labeled.Marginal().Smoothed(1, false)
+		if err != nil {
+			return out, err
+		}
+		marginal, err := core.Epsilon(marginalCPT)
+		if err != nil {
+			return out, err
+		}
+		eq, err := core.EqualizedOddsEpsilon(labeled, 1)
+		if err != nil {
+			return out, err
+		}
+		row := EqualizedOddsRow{
+			Features:    key,
+			MarginalEps: marginal.Epsilon,
+			EqOddsEps:   eq.Epsilon,
+		}
+		for _, s := range eq.PerLabel {
+			switch s.Label {
+			case census.IncomeValues[1]:
+				row.PositiveStratumEps = s.Result.Epsilon
+			case census.IncomeValues[0]:
+				row.NegativeStratumEps = s.Result.Epsilon
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r EqualizedOddsResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Features, f3(row.MarginalEps), f3(row.EqOddsEps),
+			f3(row.PositiveStratumEps), f3(row.NegativeStratumEps),
+		})
+	}
+	return renderTable(
+		"Extension: equalized-odds analogue of DF (paper section 7.1, census classifier)",
+		[]string{"protected features", "marginal eps", "eq-odds eps", "y=>50K stratum", "y=<=50K stratum"},
+		rows)
+}
+
+// RepairRow is one target of the census repair experiment.
+type RepairRow struct {
+	Target      float64
+	AchievedEps float64
+	// Movement is the expected fraction of test decisions changed.
+	Movement float64
+}
+
+// RepairResult applies the minimal-movement repair (the §3.2 "alter the
+// mechanism" route) to the census classifier's prediction rates at
+// several fairness targets.
+type RepairResult struct {
+	InitialEps float64
+	Rows       []RepairRow
+}
+
+// RepairSweep trains the no-protected-features classifier and repairs
+// its prediction CPT to each target.
+func RepairSweep(cfg census.Config, logistic classify.LogisticConfig, targets []float64) (RepairResult, error) {
+	train, test, err := census.Generate(cfg)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	space := census.Space()
+	dsTrain, moments, err := census.Dataset(train, nil, nil)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	dsTest, _, err := census.Dataset(test, nil, moments)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	model, err := classify.TrainLogistic(dsTrain, logistic)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	preds := model.PredictAll(dsTest.X)
+	predCounts, err := census.PredictionCounts(space, test, preds)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	cpt, err := predCounts.Smoothed(1, false)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	initial, err := core.Epsilon(cpt)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	out := RepairResult{InitialEps: initial.Epsilon}
+	for _, target := range targets {
+		if target <= 0 {
+			return out, fmt.Errorf("experiments: repair target must be positive, got %v", target)
+		}
+		plan, err := repair.Binary(cpt, target)
+		if err != nil {
+			return out, err
+		}
+		repaired, err := plan.Apply(cpt)
+		if err != nil {
+			return out, err
+		}
+		achieved, err := core.Epsilon(repaired)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, RepairRow{
+			Target:      target,
+			AchievedEps: achieved.Epsilon,
+			Movement:    plan.Movement,
+		})
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r RepairResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", row.Target), f3(row.AchievedEps), pct(row.Movement),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Extension: minimal-movement repair of the census classifier (initial eps %.3f)", r.InitialEps),
+		[]string{"target eps", "achieved eps", "decisions changed"},
+		rows)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mechanism"
+)
+
+// Figure2Result reproduces the paper's Figure 2 worked example: the
+// hiring-threshold mechanism over two Gaussian score distributions.
+type Figure2Result struct {
+	// Threshold and score-model parameters, as in the paper.
+	Threshold float64
+	Mu        [2]float64
+	Sigma     float64
+	// PYes and PNo per group (the "Probability of Hiring Outcome Given
+	// Group" table).
+	PYes, PNo [2]float64
+	// LogRatioNo and LogRatioYes are the log probability ratios of group
+	// 1 vs group 2 (the "Log Ratios" table: 2.337 and -1.107).
+	LogRatioNo, LogRatioYes float64
+	// Epsilon is the measured DF parameter; PaperEpsilon is 2.337.
+	Epsilon      float64
+	PaperEpsilon float64
+	// BoundLo/BoundHi are (e^-ε, e^ε) — the paper reports (0.0966, 10.35).
+	BoundLo, BoundHi float64
+	// Density samples for re-plotting the top panel (score, pdf1, pdf2).
+	Densities [][3]float64
+}
+
+// Figure2 computes the worked example exactly.
+func Figure2() (Figure2Result, error) {
+	r := Figure2Result{
+		Threshold:    10.5,
+		Mu:           [2]float64{10, 12},
+		Sigma:        1,
+		PaperEpsilon: 2.337,
+	}
+	cpt := mechanism.Fig2CPT()
+	r.PNo[0], r.PYes[0] = cpt.Prob(0, 0), cpt.Prob(0, 1)
+	r.PNo[1], r.PYes[1] = cpt.Prob(1, 0), cpt.Prob(1, 1)
+	r.LogRatioNo = math.Log(r.PNo[0] / r.PNo[1])
+	r.LogRatioYes = math.Log(r.PYes[0] / r.PYes[1])
+	res, err := core.Epsilon(cpt)
+	if err != nil {
+		return r, err
+	}
+	r.Epsilon = res.Epsilon
+	r.BoundLo = math.Exp(-res.Epsilon)
+	r.BoundHi = math.Exp(res.Epsilon)
+	// Densities over the plotted range [4, 16].
+	g1, err := dist.NewNormal(r.Mu[0], r.Sigma)
+	if err != nil {
+		return r, err
+	}
+	g2, err := dist.NewNormal(r.Mu[1], r.Sigma)
+	if err != nil {
+		return r, err
+	}
+	for x := 4.0; x <= 16.0; x += 0.25 {
+		r.Densities = append(r.Densities, [3]float64{x, g1.PDF(x), g2.PDF(x)})
+	}
+	return r, nil
+}
+
+// String renders the two tables of Figure 2 plus the ε comparison.
+func (r Figure2Result) String() string {
+	probs := renderTable(
+		"Figure 2: probability of hiring outcome given group",
+		[]string{"outcome", "group 1", "group 2"},
+		[][]string{
+			{"yes", f3(r.PYes[0]), f3(r.PYes[1])},
+			{"no", f3(r.PNo[0]), f3(r.PNo[1])},
+		})
+	ratios := renderTable(
+		"Figure 2: log ratios of probabilities (group 1 vs group 2)",
+		[]string{"outcome", "log ratio"},
+		[][]string{
+			{"no", f3(r.LogRatioNo)},
+			{"yes", f3(r.LogRatioYes)},
+		})
+	eps := renderTable(
+		"Figure 2: differential fairness",
+		[]string{"quantity", "measured", "paper"},
+		[][]string{
+			{"epsilon", f3(r.Epsilon), f3(r.PaperEpsilon)},
+			{"e^-eps", f3(r.BoundLo), "0.0966"},
+			{"e^+eps", f2(r.BoundHi), "10.35"},
+		})
+	return probs + "\n" + ratios + "\n" + eps
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/census"
+	"repro/internal/classify"
+	"repro/internal/svgplot"
+)
+
+// WriteFigures regenerates the paper's figures (and figure-style views
+// of the ablations) as SVG files in dir:
+//
+//	figure2.svg               the Fig. 2 score densities and threshold
+//	table2_ladder.svg         the Table 2 subset ε ladder, measured vs paper
+//	laplace_tradeoff.svg      §3.2 noise route: ε and utility vs noise scale
+//	regularizer_tradeoff.svg  future-work regularizer: ε and error vs λ
+//
+// It returns the written paths.
+func WriteFigures(dir string, censusCfg census.Config, logistic classify.LogisticConfig) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	fig2, err := Figure2()
+	if err != nil {
+		return nil, err
+	}
+	var d1, d2 []svgplot.Point
+	for _, row := range fig2.Densities {
+		d1 = append(d1, svgplot.Point{X: row[0], Y: row[1]})
+		d2 = append(d2, svgplot.Point{X: row[0], Y: row[2]})
+	}
+	fig2Chart := svgplot.New(
+		fmt.Sprintf("Figure 2: score densities, threshold %.1f, eps = %.3f", fig2.Threshold, fig2.Epsilon),
+		"test score", "probability density").
+		Line("group 1: N(10,1)", d1).
+		Line("group 2: N(12,1)", d2).
+		VLine(fig2.Threshold, "threshold")
+	svg, err := fig2Chart.Render()
+	if err != nil {
+		return nil, err
+	}
+	if err := write("figure2.svg", svg); err != nil {
+		return nil, err
+	}
+
+	t2, err := Table2(censusCfg)
+	if err != nil {
+		return nil, err
+	}
+	var measured, paperPts []svgplot.Point
+	for i, row := range t2.Rows {
+		if row.Finite {
+			measured = append(measured, svgplot.Point{X: float64(i), Y: row.Measured})
+		} else {
+			measured = append(measured, svgplot.Point{X: float64(i), Y: row.Smoothed})
+		}
+		paperPts = append(paperPts, svgplot.Point{X: float64(i), Y: row.Paper})
+	}
+	ladder := svgplot.New(
+		"Table 2: eps-EDF per protected-attribute subset (sorted by measured eps)",
+		"subset index (see EXPERIMENTS.md for labels)", "eps").
+		Bars("measured", measured).
+		Line("paper", paperPts)
+	svg, err = ladder.Render()
+	if err != nil {
+		return nil, err
+	}
+	if err := write("table2_ladder.svg", svg); err != nil {
+		return nil, err
+	}
+
+	lap, err := LaplaceSweep()
+	if err != nil {
+		return nil, err
+	}
+	var lapEps, lapUtil []svgplot.Point
+	for _, row := range lap.Rows {
+		lapEps = append(lapEps, svgplot.Point{X: row.Scale, Y: row.Epsilon})
+		lapUtil = append(lapUtil, svgplot.Point{X: row.Scale, Y: row.Utility})
+	}
+	lapChart := svgplot.New(
+		"Laplace-noise route to DF: fairness gained, utility destroyed (section 3.2)",
+		"noise scale b", "value").
+		Line("eps", lapEps).
+		Line("P(hire | qualified)", lapUtil)
+	svg, err = lapChart.Render()
+	if err != nil {
+		return nil, err
+	}
+	if err := write("laplace_tradeoff.svg", svg); err != nil {
+		return nil, err
+	}
+
+	reg, err := RegularizerSweep(censusCfg, logistic, []float64{0, 5, 15, 30, 60})
+	if err != nil {
+		return nil, err
+	}
+	var regEps, regErr []svgplot.Point
+	for _, row := range reg.Rows {
+		regEps = append(regEps, svgplot.Point{X: row.Lambda, Y: row.Epsilon})
+		regErr = append(regErr, svgplot.Point{X: row.Lambda, Y: row.ErrorRate})
+	}
+	regChart := svgplot.New(
+		"DF regularizer: fairness-accuracy tradeoff (paper future work)",
+		"lambda", "value").
+		Line("eps (test, Eq.7 a=1)", regEps).
+		Line("test error rate", regErr)
+	svg, err = regChart.Render()
+	if err != nil {
+		return nil, err
+	}
+	if err := write("regularizer_tradeoff.svg", svg); err != nil {
+		return nil, err
+	}
+
+	return written, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/census"
+	"repro/internal/classify"
+	"repro/internal/core"
+)
+
+// ScoreDFResult extends the case study from hard decisions to the
+// classifier's score distribution: Definition 3.1 allows any outcome
+// space, so binned scores are outcomes too. Comparing the two ε values
+// shows how much disparity the 0.5 threshold hides or reveals.
+type ScoreDFResult struct {
+	// HardEps is the usual Table 3 ε of thresholded decisions.
+	HardEps float64
+	// BinnedEps per bin count.
+	Rows []struct {
+		Bins int
+		Eps  float64
+	}
+}
+
+// ScoreDF trains the no-protected-features classifier and measures DF of
+// its score distribution at several binnings.
+func ScoreDF(cfg census.Config, logistic classify.LogisticConfig) (ScoreDFResult, error) {
+	train, test, err := census.Generate(cfg)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	space := census.Space()
+	dsTrain, moments, err := census.Dataset(train, nil, nil)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	dsTest, _, err := census.Dataset(test, nil, moments)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	model, err := classify.TrainLogistic(dsTrain, logistic)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	groups := census.Groups(test)
+	preds := model.PredictAll(dsTest.X)
+	scores := model.PredictProbs(dsTest.X)
+
+	hardCounts, err := census.PredictionCounts(space, test, preds)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	hardCPT, err := hardCounts.Smoothed(1, false)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	hard, err := core.Epsilon(hardCPT)
+	if err != nil {
+		return ScoreDFResult{}, err
+	}
+	out := ScoreDFResult{HardEps: hard.Epsilon}
+	for _, bins := range []int{2, 4, 10} {
+		counts, err := core.FromScoredObservations(space, groups, scores, bins)
+		if err != nil {
+			return out, err
+		}
+		cpt, err := counts.Smoothed(1, false)
+		if err != nil {
+			return out, err
+		}
+		res, err := core.Epsilon(cpt)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, struct {
+			Bins int
+			Eps  float64
+		}{bins, res.Epsilon})
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r ScoreDFResult) String() string {
+	rows := [][]string{{"hard decisions (threshold 0.5)", f3(r.HardEps)}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("score distribution, %d bins", row.Bins), f3(row.Eps)})
+	}
+	return renderTable(
+		"Extension: DF of the score distribution vs hard decisions (census classifier)",
+		[]string{"outcome space", "eps (Eq.7 a=1)"},
+		rows)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"repro/internal/census"
+	"repro/internal/core"
+)
+
+// paperTable2 holds the ε-EDF values the paper reports for the Adult
+// training split, keyed by the canonical subset key.
+var paperTable2 = map[string]float64{
+	"nationality":             0.219,
+	"race":                    0.930,
+	"gender":                  1.03,
+	"gender,nationality":      1.16,
+	"race,nationality":        1.21,
+	"gender,race":             1.76,
+	"gender,race,nationality": 2.14,
+}
+
+// Table2Row is one subset of the protected attributes with paper and
+// measured ε.
+type Table2Row struct {
+	Subset   string
+	Paper    float64
+	Measured float64
+	// Finite is false when the subset's empirical ε is infinite (an
+	// intersection with a zero count for one outcome).
+	Finite bool
+	// Smoothed is the Eq. 7 estimate with α = 1; always finite, and the
+	// estimator of choice when the empirical value diverges on sparse
+	// intersections.
+	Smoothed float64
+}
+
+// Table2Result reproduces the paper's Table 2: empirical DF of the
+// (synthetic) census training split for every subset of
+// {gender, race, nationality}.
+type Table2Result struct {
+	Rows []Table2Row
+	// TrainN records the split size used.
+	TrainN int
+}
+
+// Table2 generates the synthetic census with cfg and computes the subset
+// ladder via Eq. 6, exactly as the paper's Table 2.
+func Table2(cfg census.Config) (Table2Result, error) {
+	train, _, err := census.Generate(cfg)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	subs, err := core.EpsilonSubsetsCounts(counts, 0)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	smoothedSubs, err := core.EpsilonSubsetsCounts(counts, 1)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	smoothedByKey := map[string]float64{}
+	for _, s := range smoothedSubs {
+		smoothedByKey[s.Key()] = s.Result.Epsilon
+	}
+	core.SortSubsetsByEpsilon(subs)
+	out := Table2Result{TrainN: cfg.TrainN}
+	for _, s := range subs {
+		key := normalizeSubsetKey(s.Key())
+		out.Rows = append(out.Rows, Table2Row{
+			Subset:   key,
+			Paper:    paperTable2[key],
+			Measured: s.Result.Epsilon,
+			Finite:   s.Result.Finite,
+			Smoothed: smoothedByKey[key],
+		})
+	}
+	return out, nil
+}
+
+// normalizeSubsetKey maps a subset key to the canonical ordering used by
+// paperTable2 (attribute names sorted as gender, race, nationality would
+// be after core's lexicographic enumeration — they already match since
+// keys are produced in enumeration order; this is a hook for safety).
+func normalizeSubsetKey(key string) string { return key }
+
+// String renders the subset ladder.
+func (r Table2Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	sparse := false
+	for _, row := range r.Rows {
+		measured := f3(row.Measured)
+		if !row.Finite {
+			measured = "inf"
+			sparse = true
+		}
+		rows = append(rows, []string{row.Subset, measured, f3(row.Paper), f3(row.Smoothed)})
+	}
+	out := renderTable(
+		"Table 2: empirical differential fairness per attribute subset (synthetic census train split)",
+		[]string{"protected attributes", "Eq.6", "paper", "Eq.7 a=1"},
+		rows)
+	if sparse {
+		out += "note: an infinite Eq.6 value means some intersection never saw one outcome\n" +
+			"at this sample size — the sparsity the paper's Eq.7 smoothing addresses.\n"
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package fairmetrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Two groups of 4: group 0 gets 3/4 positive predictions, group 1 gets
+// 1/4. Labels arranged so TPRs and FPRs differ too.
+var (
+	demoGroups = []int{0, 0, 0, 0, 1, 1, 1, 1}
+	demoPred   = []int{1, 1, 1, 0, 1, 0, 0, 0}
+	demoTrue   = []int{1, 1, 0, 0, 1, 1, 0, 0}
+)
+
+func TestDemographicParityGap(t *testing.T) {
+	gap, err := DemographicParityGap(demoGroups, 2, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-0.5) > 1e-12 { // 0.75 - 0.25
+		t.Fatalf("gap = %v, want 0.5", gap)
+	}
+}
+
+func TestDemographicParityPerfect(t *testing.T) {
+	gap, err := DemographicParityGap([]int{0, 0, 1, 1}, 2, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 0 {
+		t.Fatalf("gap = %v, want 0", gap)
+	}
+}
+
+func TestDisparateImpactRatio(t *testing.T) {
+	ratio, err := DisparateImpactRatio(demoGroups, 2, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-1.0/3) > 1e-12 { // 0.25/0.75
+		t.Fatalf("ratio = %v, want 1/3", ratio)
+	}
+	// This violates the 80% rule.
+	if ratio >= 0.8 {
+		t.Fatal("expected an 80%-rule violation in the fixture")
+	}
+	// All-negative predictions: ratio defined as 1 (no disparity).
+	ratio, err = DisparateImpactRatio([]int{0, 1}, 2, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 1 {
+		t.Fatalf("all-negative ratio = %v, want 1", ratio)
+	}
+}
+
+func TestEqualizedOddsGap(t *testing.T) {
+	gap, err := EqualizedOddsGap(demoGroups, 2, demoTrue, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0: TPR=1 (2/2), FPR=0.5 (1/2). Group 1: TPR=0.5, FPR=0.
+	// Gaps: TPR 0.5, FPR 0.5 → 0.5.
+	if math.Abs(gap-0.5) > 1e-12 {
+		t.Fatalf("gap = %v, want 0.5", gap)
+	}
+}
+
+func TestEqualOpportunityGap(t *testing.T) {
+	gap, err := EqualOpportunityGap(demoGroups, 2, demoTrue, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-0.5) > 1e-12 {
+		t.Fatalf("gap = %v, want 0.5 (TPR 1 vs 0.5)", gap)
+	}
+	// No positives anywhere: gap 0 by convention.
+	gap, err = EqualOpportunityGap([]int{0, 1}, 2, []int{0, 0}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 0 {
+		t.Fatalf("no-positives gap = %v", gap)
+	}
+}
+
+func TestSubgroupFairnessViolation(t *testing.T) {
+	v, err := SubgroupFairnessViolation(demoGroups, 2, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overall rate 0.5; each group has weight 0.5 and gap 0.25 → 0.125.
+	if math.Abs(v-0.125) > 1e-12 {
+		t.Fatalf("violation = %v, want 0.125", v)
+	}
+}
+
+// TestSubgroupFairnessDiscountsSmallGroups: the same rate gap on a tiny
+// subgroup scores lower — the property that distinguishes Kearns et al.
+// from per-group parity, and the behaviour DF explicitly does NOT share.
+func TestSubgroupFairnessDiscountsSmallGroups(t *testing.T) {
+	// 10 rows; small group = 1 row with rate gap 1.
+	groups := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	pred := []int{1, 1, 1, 1, 0, 0, 0, 0, 0, 1}
+	small, err := SubgroupFairnessViolation(groups, 2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SubgroupFairnessViolation(demoGroups, 2, demoPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= big {
+		t.Fatalf("small-group violation %v should be discounted below %v", small, big)
+	}
+}
+
+func TestGroupCalibrationGap(t *testing.T) {
+	groups := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	yTrue := []int{1, 1, 0, 0, 1, 0, 0, 0}
+	// Group 0 scores are perfectly calibrated; group 1 systematically
+	// overestimates.
+	scores := []float64{0.9, 0.9, 0.1, 0.1, 0.9, 0.9, 0.9, 0.9}
+	gap, err := GroupCalibrationGap(groups, 2, yTrue, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 1: one bin, mean score 0.9, mean label 0.25 → ECE 0.65.
+	if math.Abs(gap-0.65) > 1e-9 {
+		t.Fatalf("gap = %v, want 0.65", gap)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.9, 0.4, 0.3, 0.1}
+	r, err := Evaluate(demoGroups, 2, demoTrue, demoPred, scores, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DemographicParityGap != 0.5 || math.Abs(r.DisparateImpactRatio-1.0/3) > 1e-12 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.GroupCalibrationGap < 0 {
+		t.Fatal("calibration gap negative")
+	}
+	// Without scores the calibration gap is NaN.
+	r, err = Evaluate(demoGroups, 2, demoTrue, demoPred, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(r.GroupCalibrationGap) {
+		t.Fatal("missing scores should yield NaN calibration gap")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := DemographicParityGap([]int{0}, 1, []int{1}); err == nil {
+		t.Error("single group accepted")
+	}
+	if _, err := DemographicParityGap([]int{0, 5}, 2, []int{1, 1}); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := DemographicParityGap([]int{0, 1}, 2, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := DemographicParityGap(nil, 2, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DemographicParityGap([]int{0, 1}, 2, []int{1, 7}); err == nil {
+		t.Error("non-binary prediction accepted")
+	}
+	if _, err := EqualizedOddsGap([]int{0, 1}, 2, []int{1, 9}, []int{1, 0}); err == nil {
+		t.Error("non-binary label accepted")
+	}
+	if _, err := GroupCalibrationGap([]int{0, 1}, 2, []int{1}, []float64{0.5, 0.5}, 2); err == nil {
+		t.Error("calibration length mismatch accepted")
+	}
+	if _, err := GroupCalibrationGap([]int{0, 1}, 1, []int{1, 0}, []float64{0.5, 0.5}, 2); err == nil {
+		t.Error("single-group calibration accepted")
+	}
+}

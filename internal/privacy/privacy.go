@@ -1,0 +1,201 @@
+// Package privacy implements the privacy substrate the paper builds on:
+// ε-differential privacy (Dwork et al.), the Laplace mechanism, and the
+// pufferfish framework (Kifer & Machanavajjhala) of which both
+// differential privacy and differential fairness are special cases
+// (paper §3.2 and §7.2).
+//
+// Mechanisms here operate on finite, discretized domains so privacy
+// ratios can be verified exactly, which is what the tests and the
+// experiment harness need.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// LaplaceMechanism releases f(x) + Laplace(Δ/ε): the standard route to
+// ε-differential privacy for a numeric query with sensitivity Δ.
+type LaplaceMechanism struct {
+	// Sensitivity is the L1 sensitivity Δ of the query.
+	Sensitivity float64
+	// Epsilon is the privacy budget.
+	Epsilon float64
+}
+
+// Scale returns the Laplace scale b = Δ/ε.
+func (m LaplaceMechanism) Scale() (float64, error) {
+	if !(m.Sensitivity > 0) || !(m.Epsilon > 0) {
+		return 0, fmt.Errorf("privacy: need positive sensitivity and epsilon, got Δ=%v ε=%v", m.Sensitivity, m.Epsilon)
+	}
+	return m.Sensitivity / m.Epsilon, nil
+}
+
+// Release returns a noisy version of value.
+func (m LaplaceMechanism) Release(value float64, r *rng.RNG) (float64, error) {
+	b, err := m.Scale()
+	if err != nil {
+		return 0, err
+	}
+	return value + r.Laplace(0, b), nil
+}
+
+// OutputDensityRatio returns the worst-case density ratio of the
+// mechanism's output distributions on two query values differing by at
+// most Sensitivity. For the Laplace mechanism this is exactly exp(ε),
+// which the tests verify numerically.
+func (m LaplaceMechanism) OutputDensityRatio(v1, v2 float64) (float64, error) {
+	b, err := m.Scale()
+	if err != nil {
+		return 0, err
+	}
+	if math.Abs(v1-v2) > m.Sensitivity+1e-12 {
+		return 0, fmt.Errorf("privacy: values differ by %v, more than sensitivity %v", math.Abs(v1-v2), m.Sensitivity)
+	}
+	d1, err := dist.NewLaplace(v1, b)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := dist.NewLaplace(v2, b)
+	if err != nil {
+		return 0, err
+	}
+	// The ratio p1(y)/p2(y) = exp((|y-v2| - |y-v1|)/b) is maximized at
+	// y = v1 (or beyond), where it equals exp(|v1-v2|/b).
+	worst := d1.PDF(v1) / d2.PDF(v1)
+	return worst, nil
+}
+
+// Secret is one value a pufferfish framework protects; Pair lists the
+// pairs required to be indistinguishable.
+type Pair struct {
+	I, J int
+}
+
+// Framework is a finite pufferfish framework (S, Q, Θ): a finite secret
+// set (rows of each CPT), the discriminative pairs Q, and a set of data
+// distributions Θ. Each θ is represented by a CPT giving the mechanism's
+// output distribution per secret under that θ, with the secret prior as
+// the CPT weights (Definition 7.2 of the paper).
+type Framework struct {
+	Pairs  []Pair
+	Thetas []*core.CPT
+}
+
+// Epsilon returns the smallest ε for which the framework satisfies
+// ε-pufferfish privacy: the max over θ, outcomes and secret pairs of the
+// absolute log probability ratio. Pairs whose secrets have zero prior
+// under a θ are skipped for that θ, as in the definition.
+func (f Framework) Epsilon() (core.EpsilonResult, error) {
+	if len(f.Thetas) == 0 {
+		return core.EpsilonResult{}, fmt.Errorf("privacy: framework with no distributions")
+	}
+	if len(f.Pairs) == 0 {
+		return core.EpsilonResult{}, fmt.Errorf("privacy: framework with no secret pairs")
+	}
+	out := core.EpsilonResult{Epsilon: 0, Finite: true}
+	for ti, theta := range f.Thetas {
+		for _, pair := range f.Pairs {
+			if pair.I < 0 || pair.I >= theta.Space().Size() || pair.J < 0 || pair.J >= theta.Space().Size() {
+				return core.EpsilonResult{}, fmt.Errorf("privacy: pair (%d,%d) out of range for theta %d", pair.I, pair.J, ti)
+			}
+			if !theta.Supported(pair.I) || !theta.Supported(pair.J) {
+				continue
+			}
+			for y := 0; y < theta.NumOutcomes(); y++ {
+				pi, pj := theta.Prob(pair.I, y), theta.Prob(pair.J, y)
+				if pi == 0 && pj == 0 {
+					continue
+				}
+				if pi == 0 || pj == 0 {
+					return core.EpsilonResult{
+						Epsilon: math.Inf(1),
+						Witness: core.Witness{Outcome: y, GroupHi: pair.I, GroupLo: pair.J},
+						Finite:  false,
+					}, nil
+				}
+				d := math.Abs(math.Log(pi) - math.Log(pj))
+				if d > out.Epsilon {
+					out.Epsilon = d
+					hi, lo := pair.I, pair.J
+					if pj > pi {
+						hi, lo = pair.J, pair.I
+					}
+					out.Witness = core.Witness{Outcome: y, GroupHi: hi, GroupLo: lo}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// AllPairs returns every ordered-independent pair over n secrets, the
+// pair set that turns pufferfish into differential fairness over a
+// protected-attribute space (every pair of intersectional groups must be
+// indistinguishable).
+func AllPairs(n int) []Pair {
+	var out []Pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Pair{I: i, J: j})
+		}
+	}
+	return out
+}
+
+// DifferentialFairnessFramework wraps a set of DF CPTs (the Θ of
+// Definition 3.1) as a pufferfish framework whose secrets are the
+// intersectional groups and whose pairs are all group pairs. Its Epsilon
+// agrees exactly with core.FrameworkEpsilon, demonstrating the paper's
+// claim that DF is a pufferfish instance.
+func DifferentialFairnessFramework(thetas []*core.CPT) (Framework, error) {
+	if len(thetas) == 0 {
+		return Framework{}, fmt.Errorf("privacy: empty theta set")
+	}
+	return Framework{
+		Pairs:  AllPairs(thetas[0].Space().Size()),
+		Thetas: thetas,
+	}, nil
+}
+
+// DifferentialPrivacyFramework builds the pufferfish instance
+// corresponding to ε-differential privacy on a tiny finite universe:
+// secrets are entire databases (encoded as group values), and pairs are
+// the neighbouring databases (differing in one element). outputDist
+// gives the mechanism's output distribution per database.
+//
+// Databases are the rows of the returned CPT's space; the caller supplies
+// neighbour pairs explicitly since adjacency depends on the encoding.
+func DifferentialPrivacyFramework(databases []string, outcomes []string, outputDist [][]float64, neighbours []Pair) (Framework, error) {
+	if len(databases) < 2 {
+		return Framework{}, fmt.Errorf("privacy: need at least two databases")
+	}
+	if len(outputDist) != len(databases) {
+		return Framework{}, fmt.Errorf("privacy: %d output distributions for %d databases", len(outputDist), len(databases))
+	}
+	space, err := core.NewSpace(core.Attr{Name: "database", Values: databases})
+	if err != nil {
+		return Framework{}, err
+	}
+	cpt, err := core.NewCPT(space, outcomes)
+	if err != nil {
+		return Framework{}, err
+	}
+	for i, probs := range outputDist {
+		// Databases are all a priori possible; the uniform prior is the
+		// conventional choice and does not affect the ratio bound.
+		if err := cpt.SetRow(i, 1, probs...); err != nil {
+			return Framework{}, fmt.Errorf("privacy: database %d: %w", i, err)
+		}
+	}
+	return Framework{Pairs: neighbours, Thetas: []*core.CPT{cpt}}, nil
+}
+
+// RandomizedResponsePrivacy returns the ε-differential-privacy level of
+// the classical randomized response procedure, ln 3 (paper §3.3). It is
+// provided here for symmetry with the mechanism package's analytic value.
+func RandomizedResponsePrivacy() float64 { return math.Log(3) }

@@ -1,0 +1,235 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+func TestLaplaceScale(t *testing.T) {
+	m := LaplaceMechanism{Sensitivity: 2, Epsilon: 0.5}
+	b, err := m.Scale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 4 {
+		t.Fatalf("scale = %v, want 4", b)
+	}
+	if _, err := (LaplaceMechanism{Sensitivity: 0, Epsilon: 1}).Scale(); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := (LaplaceMechanism{Sensitivity: 1, Epsilon: 0}).Scale(); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+// TestLaplaceDensityRatioIsExpEps: the defining property of the Laplace
+// mechanism — neighbouring outputs have density ratio at most e^ε, with
+// equality at the worst case.
+func TestLaplaceDensityRatioIsExpEps(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1, 2} {
+		m := LaplaceMechanism{Sensitivity: 1, Epsilon: eps}
+		ratio, err := m.OutputDensityRatio(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ratio-math.Exp(eps)) > 1e-9 {
+			t.Errorf("eps=%v: worst ratio %v, want e^eps = %v", eps, ratio, math.Exp(eps))
+		}
+	}
+	m := LaplaceMechanism{Sensitivity: 1, Epsilon: 1}
+	if _, err := m.OutputDensityRatio(0, 5); err == nil {
+		t.Error("values beyond sensitivity accepted")
+	}
+}
+
+func TestLaplaceReleaseNoiseStatistics(t *testing.T) {
+	m := LaplaceMechanism{Sensitivity: 1, Epsilon: 1}
+	r := rng.New(77)
+	const draws = 100000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v, err := m.Release(10, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v - 10
+		sumSq += (v - 10) * (v - 10)
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	// Var of Laplace(0, 1) is 2.
+	if math.Abs(variance-2) > 0.1 {
+		t.Errorf("noise variance = %v, want about 2", variance)
+	}
+}
+
+// TestDFIsPufferfishInstance: wrapping DF CPTs in the pufferfish
+// framework with all group pairs reproduces core.FrameworkEpsilon
+// exactly — the paper's §7.2 claim.
+func TestDFIsPufferfishInstance(t *testing.T) {
+	cpt := mechanism.Fig2CPT()
+	fw, err := DifferentialFairnessFramework([]*core.CPT{cpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPufferfish, err := fw.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDF, err := core.FrameworkEpsilon([]*core.CPT{cpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaPufferfish.Epsilon-viaDF.Epsilon) > 1e-12 {
+		t.Fatalf("pufferfish %v != DF %v", viaPufferfish.Epsilon, viaDF.Epsilon)
+	}
+	if math.Abs(viaPufferfish.Epsilon-2.337) > 5e-4 {
+		t.Fatalf("epsilon = %v, paper says 2.337", viaPufferfish.Epsilon)
+	}
+}
+
+// TestDPAsPufferfish: randomized response encoded as a DP pufferfish
+// instance over two neighbouring one-record databases yields ε = ln 3.
+func TestDPAsPufferfish(t *testing.T) {
+	fw, err := DifferentialPrivacyFramework(
+		[]string{"record_no", "record_yes"},
+		[]string{"answer_no", "answer_yes"},
+		[][]float64{{0.75, 0.25}, {0.25, 0.75}},
+		[]Pair{{I: 0, J: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Epsilon-math.Log(3)) > 1e-12 {
+		t.Fatalf("epsilon = %v, want ln 3", res.Epsilon)
+	}
+	if math.Abs(res.Epsilon-RandomizedResponsePrivacy()) > 1e-12 {
+		t.Fatal("analytic constant disagrees")
+	}
+}
+
+// TestPufferfishRestrictedPairs: with a restricted pair set, secrets not
+// in any pair do not influence ε — the "fairness gerrymandering" hazard
+// that motivates protecting all intersections.
+func TestPufferfishRestrictedPairs(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	cpt.MustSetRow(0, 1, 0.5, 0.5)
+	cpt.MustSetRow(1, 1, 0.45, 0.55)
+	cpt.MustSetRow(2, 1, 0.05, 0.95) // extreme group
+	full := Framework{Pairs: AllPairs(3), Thetas: []*core.CPT{cpt}}
+	fullEps, err := full.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted := Framework{Pairs: []Pair{{I: 0, J: 1}}, Thetas: []*core.CPT{cpt}}
+	resEps, err := restricted.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEps.Epsilon >= fullEps.Epsilon {
+		t.Fatalf("restricted pairs should hide group c: %v >= %v", resEps.Epsilon, fullEps.Epsilon)
+	}
+	want := math.Log(0.55 / 0.5) // the a-b yes ratio dominates the no ratio log(0.5/0.45)
+	wantNo := math.Log(0.5 / 0.45)
+	if wantNo > want {
+		want = wantNo
+	}
+	if math.Abs(resEps.Epsilon-want) > 1e-12 {
+		t.Fatalf("restricted epsilon = %v, want %v", resEps.Epsilon, want)
+	}
+}
+
+func TestPufferfishSupremumOverThetas(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	mk := func(p float64) *core.CPT {
+		c := core.MustCPT(space, []string{"no", "yes"})
+		c.MustSetRow(0, 1, 1-p, p)
+		c.MustSetRow(1, 1, 0.5, 0.5)
+		return c
+	}
+	fw := Framework{Pairs: AllPairs(2), Thetas: []*core.CPT{mk(0.5), mk(0.7), mk(0.9)}}
+	res, err := fw.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst theta is p=0.9, where the "no" ratio 0.5/0.1 dominates.
+	want := math.Log(0.5 / 0.1)
+	if math.Abs(res.Epsilon-want) > 1e-12 {
+		t.Fatalf("epsilon = %v, want %v (supremum over thetas)", res.Epsilon, want)
+	}
+}
+
+func TestPufferfishInfiniteOnZeroProb(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	cpt.MustSetRow(0, 1, 1, 0)
+	cpt.MustSetRow(1, 1, 0.5, 0.5)
+	fw := Framework{Pairs: AllPairs(2), Thetas: []*core.CPT{cpt}}
+	res, err := fw.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finite {
+		t.Fatal("zero-probability secret should give infinite epsilon")
+	}
+}
+
+func TestPufferfishSkipsUnsupportedSecrets(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	cpt.MustSetRow(0, 1, 0.5, 0.5)
+	cpt.MustSetRow(1, 1, 0.4, 0.6)
+	// c has prior 0: pairs touching it are skipped.
+	fw := Framework{Pairs: AllPairs(3), Thetas: []*core.CPT{cpt}}
+	res, err := fw.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finite {
+		t.Fatal("unsupported secret should be skipped, epsilon finite")
+	}
+}
+
+func TestFrameworkValidation(t *testing.T) {
+	if _, err := (Framework{}).Epsilon(); err == nil {
+		t.Error("empty framework accepted")
+	}
+	cpt := mechanism.Fig2CPT()
+	if _, err := (Framework{Thetas: []*core.CPT{cpt}}).Epsilon(); err == nil {
+		t.Error("no-pairs framework accepted")
+	}
+	bad := Framework{Pairs: []Pair{{I: 0, J: 9}}, Thetas: []*core.CPT{cpt}}
+	if _, err := bad.Epsilon(); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	if _, err := DifferentialFairnessFramework(nil); err == nil {
+		t.Error("empty DF framework accepted")
+	}
+	if _, err := DifferentialPrivacyFramework([]string{"a"}, []string{"x", "y"}, [][]float64{{1, 0}}, nil); err == nil {
+		t.Error("single-database DP framework accepted")
+	}
+	if _, err := DifferentialPrivacyFramework([]string{"a", "b"}, []string{"x", "y"}, [][]float64{{1, 0}}, nil); err == nil {
+		t.Error("mismatched output distributions accepted")
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	if got := len(AllPairs(4)); got != 6 {
+		t.Fatalf("AllPairs(4) has %d pairs, want 6", got)
+	}
+	if got := len(AllPairs(1)); got != 0 {
+		t.Fatalf("AllPairs(1) has %d pairs, want 0", got)
+	}
+}

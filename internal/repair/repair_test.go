@@ -1,0 +1,221 @@
+package repair
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+func binaryCPT(t *testing.T, rates, weights []float64) *core.CPT {
+	t.Helper()
+	vals := make([]string, len(rates))
+	for i := range vals {
+		vals[i] = string(rune('a' + i))
+	}
+	space := core.MustSpace(core.Attr{Name: "g", Values: vals})
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	for i, r := range rates {
+		cpt.MustSetRow(i, weights[i], 1-r, r)
+	}
+	return cpt
+}
+
+func TestRepairFig2ToTarget(t *testing.T) {
+	cpt := mechanism.Fig2CPT()
+	before := core.MustEpsilon(cpt).Epsilon
+	for _, target := range []float64{1.5, 1.0, 0.5, 0.1} {
+		plan, err := Binary(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := plan.Apply(cpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := core.MustEpsilon(repaired).Epsilon
+		if after > target+1e-6 {
+			t.Errorf("target %v: repaired eps %v exceeds target", target, after)
+		}
+		if plan.Movement <= 0 {
+			t.Errorf("target %v: zero movement on an unfair mechanism", target)
+		}
+		if plan.Movement >= 1 {
+			t.Errorf("target %v: movement %v out of range", target, plan.Movement)
+		}
+		_ = before
+	}
+}
+
+func TestRepairNoOpWhenAlreadyFair(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.5, 0.55}, []float64{1, 1})
+	eps := core.MustEpsilon(cpt).Epsilon
+	plan, err := Binary(cpt, eps+0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Movement != 0 {
+		t.Fatalf("movement %v on an already-fair mechanism", plan.Movement)
+	}
+	for _, gp := range plan.Groups {
+		if gp.FlipPosToNeg != 0 || gp.FlipNegToPos != 0 {
+			t.Fatalf("unnecessary flips in %+v", gp)
+		}
+	}
+}
+
+func TestRepairTargetZeroEqualizesRates(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.7, 0.3, 0.5}, []float64{1, 1, 1})
+	plan, err := Binary(cpt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := plan.Apply(cpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := core.MustEpsilon(repaired).Epsilon
+	if after > 1e-6 {
+		t.Fatalf("target 0: repaired eps %v", after)
+	}
+	// All repaired rates equal.
+	first := plan.Groups[0].NewRate
+	for _, gp := range plan.Groups {
+		if math.Abs(gp.NewRate-first) > 1e-9 {
+			t.Fatalf("rates not equalized: %+v", plan.Groups)
+		}
+	}
+}
+
+// TestRepairMinimalMovementWeighted: with a heavy majority group, the
+// optimal band should move the minority groups toward the majority, not
+// the reverse.
+func TestRepairMinimalMovementWeighted(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.6, 0.2}, []float64{100, 1})
+	plan, err := Binary(cpt, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var major, minor GroupPlan
+	for _, gp := range plan.Groups {
+		if gp.Group == 0 {
+			major = gp
+		} else {
+			minor = gp
+		}
+	}
+	if math.Abs(major.NewRate-major.OldRate) > math.Abs(minor.NewRate-minor.OldRate) {
+		t.Fatalf("majority moved more than minority: %+v vs %+v", major, minor)
+	}
+	if math.Abs(major.NewRate-0.6) > 0.05 {
+		t.Fatalf("majority rate moved to %v, should stay near 0.6", major.NewRate)
+	}
+}
+
+// TestRepairPropertyRandom: repaired ε never exceeds the target across
+// random instances, and both outcome ratios are respected.
+func TestRepairPropertyRandom(t *testing.T) {
+	r := rng.New(301)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(6)
+		rates := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.02 + 0.96*r.Float64()
+			weights[i] = 0.1 + r.Float64()
+		}
+		cpt := binaryCPT(t, rates, weights)
+		target := 0.05 + 2*r.Float64()
+		plan, err := Binary(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := plan.Apply(cpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := core.MustEpsilon(repaired)
+		if after.Epsilon > target+1e-6 {
+			t.Fatalf("trial %d: repaired eps %v > target %v (rates %v)", trial, after.Epsilon, target, rates)
+		}
+		// Movement never exceeds the max possible (rates span).
+		if plan.Movement < 0 || plan.Movement > 1 {
+			t.Fatalf("trial %d: movement %v", trial, plan.Movement)
+		}
+	}
+}
+
+// TestRepairMovementMonotoneInTarget: looser targets never require more
+// movement.
+func TestRepairMovementMonotoneInTarget(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.8, 0.4, 0.1}, []float64{3, 2, 1})
+	prev := math.Inf(1)
+	for _, target := range []float64{0.1, 0.5, 1.0, 2.0} {
+		plan, err := Binary(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Movement > prev+1e-9 {
+			t.Fatalf("movement increased with looser target %v: %v > %v", target, plan.Movement, prev)
+		}
+		prev = plan.Movement
+	}
+}
+
+func TestRepairFlipProbabilitiesRealizeRates(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.8, 0.1}, []float64{1, 1})
+	plan, err := Binary(cpt, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the post-processing stream and verify empirical rates.
+	r := rng.New(303)
+	for _, gp := range plan.Groups {
+		const n = 200000
+		var pos int
+		for i := 0; i < n; i++ {
+			dec := 0
+			if r.Float64() < gp.OldRate {
+				dec = 1
+			}
+			out, err := plan.PostProcess(gp.Group, dec, r.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos += out
+		}
+		got := float64(pos) / n
+		if math.Abs(got-gp.NewRate) > 0.005 {
+			t.Errorf("group %d: simulated rate %v, plan rate %v", gp.Group, got, gp.NewRate)
+		}
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.5, 0.6}, []float64{1, 1})
+	if _, err := Binary(cpt, -1); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := Binary(cpt, math.NaN()); err == nil {
+		t.Error("NaN target accepted")
+	}
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	three := core.MustCPT(space, []string{"x", "y", "z"})
+	three.MustSetRow(0, 1, 0.2, 0.3, 0.5)
+	three.MustSetRow(1, 1, 0.2, 0.3, 0.5)
+	if _, err := Binary(three, 1); err == nil {
+		t.Error("three-outcome CPT accepted")
+	}
+	plan, err := Binary(cpt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.PostProcess(99, 1, 0.5); err == nil {
+		t.Error("unknown group accepted by PostProcess")
+	}
+	if _, err := plan.Apply(three); err == nil {
+		t.Error("Apply on three-outcome CPT accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Package resample provides frequentist uncertainty quantification for
+// measured ε via the bootstrap — the counterpart to internal/bayes's
+// posterior credible intervals. Small intersections make the plug-in ε
+// of Eq. 6 noisy (the sparsity problem the paper's Eq. 7 addresses);
+// bootstrap intervals make that noise visible.
+package resample
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Interval is a percentile bootstrap interval for ε.
+type Interval struct {
+	// Point is the ε of the original counts.
+	Point float64
+	// Lo and Hi bound the central interval at the requested level.
+	Lo, Hi float64
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+	// Replicates holds the sorted bootstrap ε values (infinite
+	// replicates are recorded as +Inf and sort to the end).
+	Replicates []float64
+	// InfiniteShare is the fraction of replicates whose empirical ε was
+	// infinite — itself a sparsity diagnostic.
+	InfiniteShare float64
+}
+
+// EpsilonBootstrap resamples the contingency table B times (multinomial
+// over all (group, outcome) cells, preserving the total count) and
+// returns the percentile interval of ε at the given level. alpha > 0
+// applies Eq. 7 smoothing to each replicate; with alpha = 0 some
+// replicates may have infinite ε, which is reported via InfiniteShare
+// and treated as +Inf in the percentiles.
+func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
+	if b <= 0 {
+		return Interval{}, fmt.Errorf("resample: need B > 0 replicates, got %d", b)
+	}
+	if !(level > 0 && level < 1) {
+		return Interval{}, fmt.Errorf("resample: level %v outside (0,1)", level)
+	}
+	total := c.Total()
+	if total <= 0 {
+		return Interval{}, fmt.Errorf("resample: empty counts")
+	}
+	n := int(math.Round(total))
+	if math.Abs(total-float64(n)) > 1e-9 {
+		return Interval{}, fmt.Errorf("resample: bootstrap requires integer counts, total is %v", total)
+	}
+	toCPT := func(counts *core.Counts) (*core.CPT, error) {
+		if alpha > 0 {
+			return counts.Smoothed(alpha, false)
+		}
+		return counts.Empirical(), nil
+	}
+	pointCPT, err := toCPT(c)
+	if err != nil {
+		return Interval{}, err
+	}
+	point, err := core.Epsilon(pointCPT)
+	if err != nil {
+		return Interval{}, err
+	}
+
+	// Flatten cells for alias sampling.
+	space := c.Space()
+	outcomes := c.Outcomes()
+	nOut := len(outcomes)
+	weights := make([]float64, space.Size()*nOut)
+	for g := 0; g < space.Size(); g++ {
+		for y := 0; y < nOut; y++ {
+			weights[g*nOut+y] = c.N(g, y)
+		}
+	}
+	alias := rng.NewAlias(weights)
+
+	reps := make([]float64, 0, b)
+	infinite := 0
+	for rep := 0; rep < b; rep++ {
+		boot, err := core.NewCounts(space, outcomes)
+		if err != nil {
+			return Interval{}, err
+		}
+		for i := 0; i < n; i++ {
+			cell := alias.Sample(r)
+			if err := boot.Observe(cell/nOut, cell%nOut); err != nil {
+				return Interval{}, err
+			}
+		}
+		cpt, err := toCPT(boot)
+		if err != nil {
+			return Interval{}, err
+		}
+		res, err := core.Epsilon(cpt)
+		if err != nil {
+			// A replicate can lose all but one populated group on very
+			// sparse tables; score it as +Inf rather than failing.
+			reps = append(reps, math.Inf(1))
+			infinite++
+			continue
+		}
+		reps = append(reps, res.Epsilon)
+		if !res.Finite {
+			infinite++
+		}
+	}
+	sort.Float64s(reps)
+	lo := percentile(reps, (1-level)/2)
+	hi := percentile(reps, 1-(1-level)/2)
+	return Interval{
+		Point:         point.Epsilon,
+		Lo:            lo,
+		Hi:            hi,
+		Level:         level,
+		Replicates:    reps,
+		InfiniteShare: float64(infinite) / float64(b),
+	}, nil
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	if math.IsInf(sorted[hi], 1) {
+		return sorted[hi]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

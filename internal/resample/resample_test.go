@@ -1,0 +1,139 @@
+package resample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func makeCounts(t *testing.T, cells ...float64) *core.Counts {
+	t.Helper()
+	n := len(cells) / 2
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = string(rune('a' + i))
+	}
+	space := core.MustSpace(core.Attr{Name: "g", Values: vals})
+	c := core.MustCounts(space, []string{"no", "yes"})
+	for g := 0; g < n; g++ {
+		c.MustAdd(g, 0, cells[2*g])
+		c.MustAdd(g, 1, cells[2*g+1])
+	}
+	return c
+}
+
+func TestBootstrapCoversPoint(t *testing.T) {
+	c := makeCounts(t, 400, 600, 700, 300)
+	iv, err := EpsilonBootstrap(c, 0, 400, 0.95, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(iv.Lo <= iv.Point && iv.Point <= iv.Hi) {
+		t.Fatalf("point %v outside interval [%v, %v]", iv.Point, iv.Lo, iv.Hi)
+	}
+	want := core.MustEpsilon(c.Empirical()).Epsilon
+	if math.Abs(iv.Point-want) > 1e-12 {
+		t.Fatalf("point %v, want %v", iv.Point, want)
+	}
+	if iv.InfiniteShare != 0 {
+		t.Fatalf("infinite replicates on a dense table: %v", iv.InfiniteShare)
+	}
+	if len(iv.Replicates) != 400 {
+		t.Fatalf("replicates %d", len(iv.Replicates))
+	}
+}
+
+func TestBootstrapWidthShrinksWithData(t *testing.T) {
+	small := makeCounts(t, 40, 60, 70, 30)
+	big := makeCounts(t, 4000, 6000, 7000, 3000)
+	ivSmall, err := EpsilonBootstrap(small, 0, 300, 0.9, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivBig, err := EpsilonBootstrap(big, 0, 300, 0.9, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivBig.Hi-ivBig.Lo >= ivSmall.Hi-ivSmall.Lo {
+		t.Fatalf("interval did not shrink: big %v vs small %v",
+			ivBig.Hi-ivBig.Lo, ivSmall.Hi-ivSmall.Lo)
+	}
+}
+
+// TestBootstrapSparsityDiagnostic: with a near-empty outcome cell, some
+// unsmoothed replicates go infinite; smoothing removes that entirely.
+func TestBootstrapSparsityDiagnostic(t *testing.T) {
+	c := makeCounts(t, 99, 1, 50, 50) // group a has a single "yes"
+	raw, err := EpsilonBootstrap(c, 0, 300, 0.9, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.InfiniteShare == 0 {
+		t.Fatal("expected some infinite replicates on the sparse table")
+	}
+	smoothed, err := EpsilonBootstrap(c, 1, 300, 0.9, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smoothed.InfiniteShare != 0 {
+		t.Fatalf("smoothed replicates still infinite: %v", smoothed.InfiniteShare)
+	}
+	if math.IsInf(smoothed.Hi, 1) {
+		t.Fatal("smoothed upper bound infinite")
+	}
+}
+
+func TestBootstrapDeterministicUnderSeed(t *testing.T) {
+	c := makeCounts(t, 400, 600, 700, 300)
+	a, err := EpsilonBootstrap(c, 1, 100, 0.9, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EpsilonBootstrap(c, 1, 100, 0.9, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Fatal("bootstrap not deterministic under fixed seed")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	c := makeCounts(t, 10, 10, 10, 10)
+	if _, err := EpsilonBootstrap(c, 0, 0, 0.9, rng.New(1)); err == nil {
+		t.Error("B=0 accepted")
+	}
+	if _, err := EpsilonBootstrap(c, 0, 10, 1.5, rng.New(1)); err == nil {
+		t.Error("bad level accepted")
+	}
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	zero := core.MustCounts(space, []string{"no", "yes"})
+	if _, err := EpsilonBootstrap(zero, 0, 10, 0.9, rng.New(1)); err == nil {
+		t.Error("empty counts accepted")
+	}
+	frac := core.MustCounts(space, []string{"no", "yes"})
+	frac.MustAdd(0, 0, 1.5)
+	frac.MustAdd(1, 1, 1)
+	if _, err := EpsilonBootstrap(frac, 0, 10, 0.9, rng.New(1)); err == nil {
+		t.Error("fractional counts accepted")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+	vals := []float64{1, 2, math.Inf(1)}
+	if got := percentile(vals, 1); !math.IsInf(got, 1) {
+		t.Errorf("top percentile = %v", got)
+	}
+	if got := percentile(vals, 0); got != 1 {
+		t.Errorf("bottom percentile = %v", got)
+	}
+	// Interpolation adjacent to +Inf yields +Inf rather than NaN.
+	if got := percentile(vals, 0.75); !math.IsInf(got, 1) {
+		t.Errorf("interpolated-near-inf percentile = %v", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package stream supports continuous fairness monitoring of deployed
+// systems — the paper's "critiquing of deployed systems by scholars and
+// activists" use case (Section 1) — with an exponentially-decayed
+// contingency table: recent decisions dominate the ε estimate, so drifts
+// in a mechanism's fairness surface quickly instead of being diluted by
+// history.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Monitor maintains decayed outcome counts per intersectional group and
+// reports ε on demand.
+type Monitor struct {
+	space    *core.Space
+	outcomes []string
+	// counts are stored pre-scaled: cell values are multiplied by the
+	// running weight so a single add is O(1); Snapshot divides by weight.
+	counts [][]float64
+	weight float64
+	decay  float64
+	seen   int
+	alpha  float64
+}
+
+// NewMonitor creates a monitor. halfLife is the number of observations
+// after which an old observation's influence is halved (must be > 0);
+// alpha is the Eq. 7 smoothing applied when reporting ε (0 = empirical).
+func NewMonitor(space *core.Space, outcomes []string, halfLife float64, alpha float64) (*Monitor, error) {
+	if space == nil {
+		return nil, fmt.Errorf("stream: nil space")
+	}
+	if len(outcomes) < 2 {
+		return nil, fmt.Errorf("stream: need at least two outcomes")
+	}
+	if !(halfLife > 0) || math.IsInf(halfLife, 0) {
+		return nil, fmt.Errorf("stream: half-life must be positive and finite, got %v", halfLife)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("stream: negative alpha %v", alpha)
+	}
+	counts := make([][]float64, space.Size())
+	for i := range counts {
+		counts[i] = make([]float64, len(outcomes))
+	}
+	return &Monitor{
+		space:    space,
+		outcomes: append([]string(nil), outcomes...),
+		counts:   counts,
+		weight:   1,
+		decay:    math.Exp2(-1 / halfLife),
+		alpha:    alpha,
+	}, nil
+}
+
+// Observe records one decision. Each prior observation's effective count
+// is multiplied by the decay factor.
+func (m *Monitor) Observe(group, outcome int) error {
+	if group < 0 || group >= m.space.Size() {
+		return fmt.Errorf("stream: group %d out of range", group)
+	}
+	if outcome < 0 || outcome >= len(m.outcomes) {
+		return fmt.Errorf("stream: outcome %d out of range", outcome)
+	}
+	// Incrementing the weight instead of decaying every cell keeps
+	// Observe O(1): current value of one unit is weight/decay^0; older
+	// units were added with smaller weights.
+	m.weight /= m.decay
+	m.counts[group][outcome] += m.weight
+	m.seen++
+	if m.weight > 1e12 {
+		m.renormalize()
+	}
+	return nil
+}
+
+// renormalize rescales stored counts so the running weight returns to 1,
+// preserving all ratios.
+func (m *Monitor) renormalize() {
+	inv := 1 / m.weight
+	for g := range m.counts {
+		for y := range m.counts[g] {
+			m.counts[g][y] *= inv
+		}
+	}
+	m.weight = 1
+}
+
+// Seen returns the number of observations so far.
+func (m *Monitor) Seen() int { return m.seen }
+
+// EffectiveCount returns the decayed total mass: bounded above by the
+// half-life's equivalent window size 1/(1−decay).
+func (m *Monitor) EffectiveCount() float64 {
+	var sum float64
+	for g := range m.counts {
+		for _, v := range m.counts[g] {
+			sum += v
+		}
+	}
+	return sum / m.weight
+}
+
+// Snapshot returns the decayed counts as a core.Counts for arbitrary
+// downstream analysis.
+func (m *Monitor) Snapshot() (*core.Counts, error) {
+	out, err := core.NewCounts(m.space, m.outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for g := range m.counts {
+		for y, v := range m.counts[g] {
+			if v > 0 {
+				if err := out.Add(g, y, v/m.weight); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Epsilon reports the current decayed ε estimate.
+func (m *Monitor) Epsilon() (core.EpsilonResult, error) {
+	snap, err := m.Snapshot()
+	if err != nil {
+		return core.EpsilonResult{}, err
+	}
+	var cpt *core.CPT
+	if m.alpha > 0 {
+		cpt, err = snap.Smoothed(m.alpha, false)
+		if err != nil {
+			return core.EpsilonResult{}, err
+		}
+	} else {
+		cpt = snap.Empirical()
+	}
+	return core.Epsilon(cpt)
+}
+
+// Alert describes a threshold crossing.
+type Alert struct {
+	// Epsilon is the estimate that crossed the threshold.
+	Epsilon float64
+	// Threshold is the configured limit.
+	Threshold float64
+	// Witness explains which intersections drove the estimate.
+	Witness core.Witness
+	// SeenAt is the observation index at which the alert fired.
+	SeenAt int
+}
+
+// Watch wraps a Monitor with a threshold; ObserveChecked returns a
+// non-nil Alert whenever the running ε estimate is above the threshold
+// and at least minEffective mass has accumulated (avoiding cold-start
+// noise).
+type Watch struct {
+	*Monitor
+	Threshold    float64
+	MinEffective float64
+}
+
+// NewWatch builds a threshold watch around a monitor.
+func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
+	if m == nil {
+		return nil, fmt.Errorf("stream: nil monitor")
+	}
+	if !(threshold > 0) {
+		return nil, fmt.Errorf("stream: threshold must be positive, got %v", threshold)
+	}
+	if minEffective < 0 {
+		return nil, fmt.Errorf("stream: negative minEffective")
+	}
+	return &Watch{Monitor: m, Threshold: threshold, MinEffective: minEffective}, nil
+}
+
+// ObserveChecked records a decision and evaluates the threshold.
+func (w *Watch) ObserveChecked(group, outcome int) (*Alert, error) {
+	if err := w.Observe(group, outcome); err != nil {
+		return nil, err
+	}
+	if w.EffectiveCount() < w.MinEffective {
+		return nil, nil
+	}
+	res, err := w.Epsilon()
+	if err != nil {
+		// Not enough populated groups yet: no alert, not an error.
+		return nil, nil
+	}
+	if res.Epsilon > w.Threshold {
+		return &Alert{
+			Epsilon:   res.Epsilon,
+			Threshold: w.Threshold,
+			Witness:   res.Witness,
+			SeenAt:    w.Seen(),
+		}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,232 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func twoGroupSpace(t *testing.T) *core.Space {
+	t.Helper()
+	return core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	s := twoGroupSpace(t)
+	if _, err := NewMonitor(nil, []string{"x", "y"}, 100, 0); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := NewMonitor(s, []string{"x"}, 100, 0); err == nil {
+		t.Error("single outcome accepted")
+	}
+	for _, hl := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewMonitor(s, []string{"x", "y"}, hl, 0); err == nil {
+			t.Errorf("half-life %v accepted", hl)
+		}
+	}
+	if _, err := NewMonitor(s, []string{"x", "y"}, 100, -1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, _ := NewMonitor(s, []string{"x", "y"}, 100, 0)
+	if err := m.Observe(5, 0); err == nil {
+		t.Error("bad group accepted")
+	}
+	if err := m.Observe(0, 5); err == nil {
+		t.Error("bad outcome accepted")
+	}
+}
+
+// TestStationaryMatchesBatch: with a long half-life relative to the
+// stream, the decayed estimate approximates the batch empirical ε.
+func TestStationaryMatchesBatch(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, err := NewMonitor(s, []string{"no", "yes"}, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := core.MustCounts(s, []string{"no", "yes"})
+	r := rng.New(11)
+	rates := []float64{0.6, 0.3}
+	for i := 0; i < 20000; i++ {
+		g := r.Intn(2)
+		y := 0
+		if r.Float64() < rates[g] {
+			y = 1
+		}
+		if err := m.Observe(g, y); err != nil {
+			t.Fatal(err)
+		}
+		batch.MustAdd(g, y, 1)
+	}
+	mEps, err := m.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEps := core.MustEpsilon(batch.Empirical())
+	if math.Abs(mEps.Epsilon-bEps.Epsilon) > 1e-6 {
+		t.Fatalf("decayed %v vs batch %v", mEps.Epsilon, bEps.Epsilon)
+	}
+}
+
+// TestDriftDetection: after a fairness regression, the short-half-life
+// estimate moves to the new regime much faster than a batch estimate
+// would.
+func TestDriftDetection(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, err := NewMonitor(s, []string{"no", "yes"}, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	emit := func(rates []float64, n int) {
+		for i := 0; i < n; i++ {
+			g := r.Intn(2)
+			y := 0
+			if r.Float64() < rates[g] {
+				y = 1
+			}
+			if err := m.Observe(g, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Fair phase: both groups at 0.5 for a long time.
+	emit([]float64{0.5, 0.5}, 20000)
+	fair, err := m.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fair.Epsilon > 0.25 {
+		t.Fatalf("fair-phase eps %v too high", fair.Epsilon)
+	}
+	// Regression: group b drops to 0.1.
+	emit([]float64{0.5, 0.1}, 4000)
+	after, err := m.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.5 / 0.1)
+	if after.Epsilon < 0.6*want {
+		t.Fatalf("drift not detected: eps %v, regime value %v", after.Epsilon, want)
+	}
+}
+
+func TestEffectiveCountSaturates(t *testing.T) {
+	s := twoGroupSpace(t)
+	const halfLife = 100.0
+	m, _ := NewMonitor(s, []string{"no", "yes"}, halfLife, 0)
+	for i := 0; i < 10000; i++ {
+		if err := m.Observe(i%2, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Effective window is 1/(1-2^(-1/halfLife)) ≈ halfLife/ln2.
+	want := 1 / (1 - math.Exp2(-1/halfLife))
+	if got := m.EffectiveCount(); math.Abs(got-want) > 0.05*want {
+		t.Fatalf("effective count %v, want about %v", got, want)
+	}
+	if m.Seen() != 10000 {
+		t.Fatalf("seen %d", m.Seen())
+	}
+}
+
+func TestRenormalizePreservesEstimate(t *testing.T) {
+	s := twoGroupSpace(t)
+	// A tiny half-life forces rapid weight growth and many
+	// renormalizations.
+	m, _ := NewMonitor(s, []string{"no", "yes"}, 2, 0)
+	r := rng.New(17)
+	for i := 0; i < 200000; i++ {
+		g := r.Intn(2)
+		y := 0
+		if r.Float64() < 0.5 {
+			y = 1
+		}
+		if err := m.Observe(g, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := snap.Total(); math.IsInf(total, 0) || math.IsNaN(total) || total <= 0 {
+		t.Fatalf("snapshot total %v after renormalizations", total)
+	}
+}
+
+func TestWatchAlerts(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, _ := NewMonitor(s, []string{"no", "yes"}, 200, 1)
+	w, err := NewWatch(m, 1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(19)
+	fired := false
+	// Heavily biased stream: group 0 at 0.8, group 1 at 0.05.
+	for i := 0; i < 3000 && !fired; i++ {
+		g := r.Intn(2)
+		rate := 0.8
+		if g == 1 {
+			rate = 0.05
+		}
+		y := 0
+		if r.Float64() < rate {
+			y = 1
+		}
+		alert, err := w.ObserveChecked(g, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alert != nil {
+			fired = true
+			if alert.Epsilon <= alert.Threshold {
+				t.Fatalf("alert with eps %v below threshold %v", alert.Epsilon, alert.Threshold)
+			}
+			if alert.SeenAt <= 0 {
+				t.Fatal("alert missing position")
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("no alert on a heavily biased stream")
+	}
+}
+
+func TestWatchRespectsMinEffective(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, _ := NewMonitor(s, []string{"no", "yes"}, 200, 1)
+	w, _ := NewWatch(m, 0.01, 1e6) // unreachable mass
+	r := rng.New(23)
+	for i := 0; i < 1000; i++ {
+		g := r.Intn(2)
+		alert, err := w.ObserveChecked(g, g) // perfectly revealing stream
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alert != nil {
+			t.Fatal("alert fired before minimum effective mass")
+		}
+	}
+}
+
+func TestNewWatchValidation(t *testing.T) {
+	s := twoGroupSpace(t)
+	m, _ := NewMonitor(s, []string{"no", "yes"}, 100, 0)
+	if _, err := NewWatch(nil, 1, 0); err == nil {
+		t.Error("nil monitor accepted")
+	}
+	if _, err := NewWatch(m, 0, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewWatch(m, 1, -1); err == nil {
+		t.Error("negative minEffective accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package svgplot is a minimal, dependency-free SVG chart writer used to
+// regenerate the paper's figures as image files: line series (the
+// Figure 2 score densities), vertical markers (the decision threshold)
+// and bar series (the Table 2 ε ladder). Output is deliberately plain
+// SVG 1.1 so it renders anywhere.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// series is one plotted line or bar set.
+type series struct {
+	name   string
+	points []Point
+	color  string
+	bars   bool
+}
+
+// Chart accumulates series and renders SVG.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+
+	seriesList []series
+	vlines     []float64
+	vlineLabel map[float64]string
+}
+
+// palette cycles through line colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// New creates a chart with sensible defaults (720x420).
+func New(title, xLabel, yLabel string) *Chart {
+	return &Chart{
+		Title:      title,
+		XLabel:     xLabel,
+		YLabel:     yLabel,
+		Width:      720,
+		Height:     420,
+		vlineLabel: map[float64]string{},
+	}
+}
+
+// Line adds a polyline series.
+func (c *Chart) Line(name string, points []Point) *Chart {
+	c.seriesList = append(c.seriesList, series{
+		name:   name,
+		points: append([]Point(nil), points...),
+		color:  palette[len(c.seriesList)%len(palette)],
+	})
+	return c
+}
+
+// Bars adds a bar series; bar positions come from X, heights from Y.
+func (c *Chart) Bars(name string, points []Point) *Chart {
+	c.seriesList = append(c.seriesList, series{
+		name:   name,
+		points: append([]Point(nil), points...),
+		color:  palette[len(c.seriesList)%len(palette)],
+		bars:   true,
+	})
+	return c
+}
+
+// VLine adds a labeled vertical marker at x.
+func (c *Chart) VLine(x float64, label string) *Chart {
+	c.vlines = append(c.vlines, x)
+	c.vlineLabel[x] = label
+	return c
+}
+
+// bounds computes the data range across series and markers.
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64, err error) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	n := 0
+	for _, s := range c.seriesList {
+		for _, p := range s.points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				return 0, 0, 0, 0, fmt.Errorf("svgplot: non-finite point (%v, %v) in series %q", p.X, p.Y, s.name)
+			}
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("svgplot: chart %q has no data", c.Title)
+	}
+	for _, x := range c.vlines {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	// Always include zero on the y axis for bar charts; pad degenerate
+	// ranges.
+	for _, s := range c.seriesList {
+		if s.bars {
+			yMin = math.Min(yMin, 0)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, nil
+}
+
+// Render produces the SVG document.
+func (c *Chart) Render() (string, error) {
+	xMin, xMax, yMin, yMax, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+	const (
+		padL, padR = 64.0, 24.0
+		padT, padB = 48.0, 56.0
+	)
+	w, h := float64(c.Width), float64(c.Height)
+	plotW, plotH := w-padL-padR, h-padT-padB
+	sx := func(x float64) float64 { return padL + (x-xMin)/(xMax-xMin)*plotW }
+	sy := func(y float64) float64 { return padT + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.Width, c.Height, c.Width, c.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		w/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		padL, padT+plotH, padL+plotW, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		padL+plotW/2, h-14, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		padT+plotH/2, padT+plotH/2, escape(c.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		tx := xMin + (xMax-xMin)*float64(i)/4
+		ty := yMin + (yMax-yMin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			sx(tx), padT+plotH, sx(tx), padT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			sx(tx), padT+plotH+18, trimNum(tx))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			padL-5, sy(ty), padL, sy(ty))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			padL-8, sy(ty)+3, trimNum(ty))
+	}
+
+	// Vertical markers.
+	for _, x := range c.vlines {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#555" stroke-dasharray="5,4"/>`+"\n",
+			sx(x), padT, sx(x), padT+plotH)
+		if label := c.vlineLabel[x]; label != "" {
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				sx(x), padT-6, escape(label))
+		}
+	}
+
+	// Series.
+	legendY := padT + 4
+	for _, s := range c.seriesList {
+		if s.bars {
+			c.renderBars(&b, s, sx, sy, yMin, plotW)
+		} else {
+			pts := append([]Point(nil), s.points...)
+			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+			var coords []string
+			for _, p := range pts {
+				coords = append(coords, fmt.Sprintf("%.2f,%.2f", sx(p.X), sy(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+				s.color, strings.Join(coords, " "))
+		}
+		if s.name != "" {
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n",
+				padL+plotW-130, legendY, s.color)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+				padL+plotW-114, legendY+10, escape(s.name))
+			legendY += 18
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func (c *Chart) renderBars(b *strings.Builder, s series, sx, sy func(float64) float64, yMin float64, plotW float64) {
+	if len(s.points) == 0 {
+		return
+	}
+	barW := plotW / float64(len(s.points)) * 0.6
+	for _, p := range s.points {
+		x := sx(p.X) - barW/2
+		yTop := sy(p.Y)
+		yBase := sy(math.Max(yMin, 0))
+		if yTop > yBase {
+			yTop, yBase = yBase, yTop
+		}
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.8"/>`+"\n",
+			x, yTop, barW, yBase-yTop, s.color)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}

@@ -1,0 +1,117 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRenderWellFormedXML(t *testing.T) {
+	c := New("demo", "x", "y").
+		Line("a", []Point{{0, 0}, {1, 1}, {2, 0.5}}).
+		Line("b", []Point{{0, 1}, {2, 0}}).
+		VLine(1.5, "marker")
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestRenderContainsSeries(t *testing.T) {
+	c := New("title & <stuff>", "xs", "ys").Line("series-one", []Point{{0, 0}, {1, 2}})
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"polyline", "series-one", "title &amp; &lt;stuff&gt;", "<svg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	c := New("bars", "i", "v").Bars("vals", []Point{{0, 1}, {1, 2}, {2, 0.5}})
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "fill-opacity") != 3 {
+		t.Errorf("expected 3 bars:\n%s", out)
+	}
+}
+
+func TestRenderErrorsOnEmptyChart(t *testing.T) {
+	if _, err := New("empty", "x", "y").Render(); err == nil {
+		t.Error("empty chart rendered")
+	}
+}
+
+func TestRenderErrorsOnNonFinite(t *testing.T) {
+	c := New("bad", "x", "y").Line("a", []Point{{0, math.NaN()}})
+	if _, err := c.Render(); err == nil {
+		t.Error("NaN point accepted")
+	}
+	c = New("bad", "x", "y").Line("a", []Point{{math.Inf(1), 1}})
+	if _, err := c.Render(); err == nil {
+		t.Error("Inf point accepted")
+	}
+}
+
+func TestVLineExtendsBounds(t *testing.T) {
+	c := New("v", "x", "y").Line("a", []Point{{0, 0}, {1, 1}}).VLine(5, "far")
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("marker not rendered")
+	}
+}
+
+func TestDegenerateRangePadded(t *testing.T) {
+	// Single point: both ranges degenerate, must still render.
+	c := New("pt", "x", "y").Line("a", []Point{{3, 7}})
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("degenerate range failed: %v", err)
+	}
+}
+
+func TestUnsortedLinePointsAreSorted(t *testing.T) {
+	c := New("s", "x", "y").Line("a", []Point{{2, 1}, {0, 0}, {1, 0.5}})
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The polyline x coordinates must be non-decreasing.
+	start := strings.Index(out, `points="`) + len(`points="`)
+	end := strings.Index(out[start:], `"`)
+	coords := strings.Fields(out[start : start+end])
+	prev := -math.MaxFloat64
+	for _, pair := range coords {
+		parts := strings.Split(pair, ",")
+		if len(parts) != 2 {
+			t.Fatalf("bad coordinate pair %q", pair)
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x < prev {
+			t.Fatalf("polyline not sorted: %v", coords)
+		}
+		prev = x
+	}
+}
