@@ -14,6 +14,7 @@ import (
 	"repro/internal/census"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/mechanism"
 	"repro/internal/repair"
@@ -404,6 +405,55 @@ func BenchmarkEqualizedOdds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.EqualizedOddsEpsilon(labeled, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistBatch compares the per-point scalar density loop against
+// the batched evaluation path (dist.BatchPDF) the Figure 2 density sweep
+// and the noisy-threshold quadrature run on. The batch kernels hoist the
+// normalizing constants, the per-point division, and the interface
+// dispatch out of the loop, and split large inputs across a worker pool
+// when more than one CPU is available.
+func BenchmarkDistBatch(b *testing.B) {
+	const points = 1 << 15
+	xs := dist.Grid(0, 20, points)
+	dst := make([]float64, points)
+	families := []struct {
+		name string
+		d    dist.Dist
+	}{
+		{"normal", dist.MustNormal(10, 2)},
+		{"laplace", dist.MustLaplace(10, 1.5)},
+	}
+	for _, f := range families {
+		b.Run(f.name+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(points * 8)
+			for i := 0; i < b.N; i++ {
+				for j, x := range xs {
+					dst[j] = f.d.PDF(x)
+				}
+			}
+		})
+		b.Run(f.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(points * 8)
+			for i := 0; i < b.N; i++ {
+				dist.BatchPDF(f.d, xs, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkDistBatchDensityGrid measures the full Figure 2-style sweep:
+// grid construction plus batched density evaluation.
+func BenchmarkDistBatchDensityGrid(b *testing.B) {
+	d := dist.MustNormal(10, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, pdf := dist.DensityGrid(d, 4, 16, 4096); len(pdf) != 4096 {
+			b.Fatal("bad grid")
 		}
 	}
 }

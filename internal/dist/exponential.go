@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Exponential is the exponential distribution with the given Rate
+// (mean 1/Rate), supported on [0, +Inf). It models one-sided noise —
+// e.g. score inflation that can only help an applicant — a mechanism
+// scenario the symmetric families cannot express. The zero value is not
+// valid; use NewExponential.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns the Exponential(rate) distribution. It returns
+// an error when rate <= 0 or not finite.
+func NewExponential(rate float64) (Exponential, error) {
+	if err := checkPositive("exponential rate", rate); err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// MustExponential is NewExponential for statically known parameters; it
+// panics on invalid input.
+func MustExponential(rate float64) Exponential {
+	d, err := NewExponential(rate)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String describes the distribution for reports.
+func (d Exponential) String() string { return fmt.Sprintf("Exponential(rate=%g)", d.Rate) }
+
+// PDF returns the density at x (0 for x < 0).
+func (d Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return d.Rate * math.Exp(-d.Rate*x)
+}
+
+// LogPDF returns the log density at x (-Inf for x < 0).
+func (d Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Rate) - d.Rate*x
+}
+
+// CDF returns P(X <= x), using expm1 so small x keeps full precision.
+func (d Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * x)
+}
+
+// SurvivalAbove returns the upper tail mass P(X > x).
+func (d Exponential) SurvivalAbove(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	return math.Exp(-d.Rate * x)
+}
+
+// Quantile returns the p-quantile -log(1-p)/rate. Quantile(1) is +Inf;
+// p outside [0, 1] yields NaN.
+func (d Exponential) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return -math.Log1p(-p) / d.Rate
+}
+
+// Sample draws one deviate using r.
+func (d Exponential) Sample(r *rng.RNG) float64 { return r.ExpFloat64() / d.Rate }
+
+// Mean returns 1/Rate.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// Variance returns 1/Rate^2.
+func (d Exponential) Variance() float64 { return 1 / (d.Rate * d.Rate) }
+
+// batchPDF is the vectorized density kernel used by BatchPDF.
+func (d Exponential) batchPDF(xs, dst []float64) {
+	for i, x := range xs {
+		if x < 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = d.Rate * math.Exp(-d.Rate*x)
+	}
+}

@@ -50,7 +50,8 @@ func Figure2() (Figure2Result, error) {
 	r.Epsilon = res.Epsilon
 	r.BoundLo = math.Exp(-res.Epsilon)
 	r.BoundHi = math.Exp(res.Epsilon)
-	// Densities over the plotted range [4, 16].
+	// Densities over the plotted range [4, 16], swept through the batched
+	// density path (one vectorized pass per group).
 	g1, err := dist.NewNormal(r.Mu[0], r.Sigma)
 	if err != nil {
 		return r, err
@@ -59,8 +60,10 @@ func Figure2() (Figure2Result, error) {
 	if err != nil {
 		return r, err
 	}
-	for x := 4.0; x <= 16.0; x += 0.25 {
-		r.Densities = append(r.Densities, [3]float64{x, g1.PDF(x), g2.PDF(x)})
+	xs, pdf1 := dist.DensityGrid(g1, 4, 16, 49)
+	pdf2 := dist.BatchPDF(g2, xs, nil)
+	for i, x := range xs {
+		r.Densities = append(r.Densities, [3]float64{x, pdf1[i], pdf2[i]})
 	}
 	return r, nil
 }

@@ -69,9 +69,15 @@ type Threshold struct {
 }
 
 // NoiseModel is an additive, group-independent noise distribution.
+// Implementations validate their parameters in Dist, once, before any
+// evaluation runs; Threshold.CPT rejects unusable noise there instead
+// of faulting mid-quadrature. Tail queries go through the returned
+// distribution's SurvivalAbove (the concrete types also expose a
+// TailAbove convenience).
 type NoiseModel interface {
-	// TailAbove returns P(noise > z).
-	TailAbove(z float64) float64
+	// Dist returns the validated noise distribution, or an error when the
+	// parameters are unusable (e.g. a non-positive scale).
+	Dist() (dist.Dist, error)
 	// Name describes the noise for reports.
 	Name() string
 }
@@ -79,13 +85,31 @@ type NoiseModel interface {
 // LaplaceNoise is zero-mean Laplace noise with scale B.
 type LaplaceNoise struct{ B float64 }
 
-// TailAbove returns P(noise > z).
-func (l LaplaceNoise) TailAbove(z float64) float64 {
+// NewLaplaceNoise returns Laplace noise with the given scale, rejecting
+// b <= 0 at construction time.
+func NewLaplaceNoise(b float64) (LaplaceNoise, error) {
+	if _, err := dist.NewLaplace(0, b); err != nil {
+		return LaplaceNoise{}, fmt.Errorf("mechanism: %w", err)
+	}
+	return LaplaceNoise{B: b}, nil
+}
+
+// Dist returns the validated Laplace(0, B) distribution.
+func (l LaplaceNoise) Dist() (dist.Dist, error) {
 	d, err := dist.NewLaplace(0, l.B)
 	if err != nil {
-		panic(fmt.Sprintf("mechanism: invalid Laplace scale %v", l.B))
+		return nil, fmt.Errorf("mechanism: %w", err)
 	}
-	return d.SurvivalAbove(z)
+	return d, nil
+}
+
+// TailAbove returns P(noise > z), or NaN when the scale is invalid —
+// never a panic, and never a garbage "probability".
+func (l LaplaceNoise) TailAbove(z float64) float64 {
+	if !(l.B > 0) || math.IsInf(l.B, 1) {
+		return math.NaN()
+	}
+	return dist.Laplace{Mu: 0, B: l.B}.SurvivalAbove(z)
 }
 
 // Name describes the noise.
@@ -94,17 +118,73 @@ func (l LaplaceNoise) Name() string { return fmt.Sprintf("Laplace(b=%g)", l.B) }
 // GaussianNoise is zero-mean Gaussian noise with standard deviation Sigma.
 type GaussianNoise struct{ Sigma float64 }
 
-// TailAbove returns P(noise > z).
-func (g GaussianNoise) TailAbove(z float64) float64 {
+// NewGaussianNoise returns Gaussian noise with the given standard
+// deviation, rejecting sigma <= 0 at construction time.
+func NewGaussianNoise(sigma float64) (GaussianNoise, error) {
+	if _, err := dist.NewNormal(0, sigma); err != nil {
+		return GaussianNoise{}, fmt.Errorf("mechanism: %w", err)
+	}
+	return GaussianNoise{Sigma: sigma}, nil
+}
+
+// Dist returns the validated N(0, Sigma^2) distribution.
+func (g GaussianNoise) Dist() (dist.Dist, error) {
 	d, err := dist.NewNormal(0, g.Sigma)
 	if err != nil {
-		panic(fmt.Sprintf("mechanism: invalid Gaussian sigma %v", g.Sigma))
+		return nil, fmt.Errorf("mechanism: %w", err)
 	}
-	return d.SurvivalAbove(z)
+	return d, nil
+}
+
+// TailAbove returns P(noise > z), or NaN when the scale is invalid; see
+// LaplaceNoise.TailAbove.
+func (g GaussianNoise) TailAbove(z float64) float64 {
+	if !(g.Sigma > 0) || math.IsInf(g.Sigma, 1) {
+		return math.NaN()
+	}
+	return dist.Normal{Mu: 0, Sigma: g.Sigma}.SurvivalAbove(z)
 }
 
 // Name describes the noise.
 func (g GaussianNoise) Name() string { return fmt.Sprintf("Gaussian(sigma=%g)", g.Sigma) }
+
+// DistNoise adapts any dist.Dist into a NoiseModel, opening mechanism
+// scenarios beyond the symmetric families — one-sided Exponential score
+// inflation, or Empirical noise estimated from observed perturbations.
+type DistNoise struct {
+	D dist.Dist
+	// Label names the noise in reports; when empty, a fmt.Stringer D
+	// describes itself.
+	Label string
+}
+
+// Dist returns the wrapped distribution (already validated by its
+// constructor).
+func (n DistNoise) Dist() (dist.Dist, error) {
+	if n.D == nil {
+		return nil, fmt.Errorf("mechanism: DistNoise with nil distribution")
+	}
+	return n.D, nil
+}
+
+// TailAbove returns P(noise > z), or NaN when no distribution is set.
+func (n DistNoise) TailAbove(z float64) float64 {
+	if n.D == nil {
+		return math.NaN()
+	}
+	return n.D.SurvivalAbove(z)
+}
+
+// Name describes the noise.
+func (n DistNoise) Name() string {
+	if n.Label != "" {
+		return n.Label
+	}
+	if s, ok := n.D.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return "custom noise"
+}
 
 // CPT evaluates the threshold mechanism against a score model, producing
 // the outcome CPT over the given space with the given group weights
@@ -126,12 +206,26 @@ func (t Threshold) CPT(space *core.Space, weights []float64, scores *GaussianSco
 	if err != nil {
 		return nil, err
 	}
+	// Construct and validate the noise distribution once, up front, so an
+	// unusable scale surfaces as an error here rather than a fault deep in
+	// the per-group quadrature. The quadrature buffers are likewise shared
+	// across groups.
+	var noise dist.Dist
+	var xs, pdf []float64
+	if t.Noise != nil {
+		noise, err = t.Noise.Dist()
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: %s: %w", t.Noise.Name(), err)
+		}
+		xs = make([]float64, noisySteps)
+		pdf = make([]float64, noisySteps)
+	}
 	for g := 0; g < space.Size(); g++ {
 		var pYes float64
-		if t.Noise == nil {
+		if noise == nil {
 			pYes = scores.OutcomeAbove(g, t.T)
 		} else {
-			pYes = t.noisyYes(scores, g)
+			pYes = t.noisyYes(scores, g, noise, xs, pdf)
 		}
 		if err := cpt.SetRow(g, weights[g], 1-pYes, pYes); err != nil {
 			return nil, err
@@ -140,18 +234,25 @@ func (t Threshold) CPT(space *core.Space, weights []float64, scores *GaussianSco
 	return cpt, nil
 }
 
+// noisySteps is the midpoint-quadrature resolution of noisyYes.
+const noisySteps = 4000
+
 // noisyYes computes P(x + n >= T | group) = E_x[P(n >= T - x)] by
-// midpoint quadrature over the Gaussian score density.
-func (t Threshold) noisyYes(scores *GaussianScores, group int) float64 {
+// midpoint quadrature over the Gaussian score density, evaluated through
+// the batched density path into the caller-shared buffers xs and pdf
+// (each of length noisySteps).
+func (t Threshold) noisyYes(scores *GaussianScores, group int, noise dist.Dist, xs, pdf []float64) float64 {
 	d := scores.dists[group]
 	const span = 10.0 // integrate over mu ± span*sigma
-	const steps = 4000
 	lo := d.Mu - span*d.Sigma
-	h := 2 * span * d.Sigma / steps
+	h := 2 * span * d.Sigma / noisySteps
+	for i := range xs {
+		xs[i] = lo + (float64(i)+0.5)*h
+	}
+	dist.BatchPDF(d, xs, pdf)
 	var acc float64
-	for i := 0; i < steps; i++ {
-		x := lo + (float64(i)+0.5)*h
-		acc += d.PDF(x) * t.Noise.TailAbove(t.T-x) * h
+	for i, x := range xs {
+		acc += pdf[i] * noise.SurvivalAbove(t.T-x) * h
 	}
 	if acc < 0 {
 		return 0

@@ -65,8 +65,9 @@ func (m LaplaceMechanism) OutputDensityRatio(v1, v2 float64) (float64, error) {
 		return 0, err
 	}
 	// The ratio p1(y)/p2(y) = exp((|y-v2| - |y-v1|)/b) is maximized at
-	// y = v1 (or beyond), where it equals exp(|v1-v2|/b).
-	worst := d1.PDF(v1) / d2.PDF(v1)
+	// y = v1 (or beyond), where it equals exp(|v1-v2|/b). Working in log
+	// densities keeps the ratio exact even when both tails underflow.
+	worst := math.Exp(d1.LogPDF(v1) - d2.LogPDF(v1))
 	return worst, nil
 }
 
