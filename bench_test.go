@@ -332,6 +332,118 @@ func BenchmarkRepair(b *testing.B) {
 	}
 }
 
+// BenchmarkEpsilonBootstrap is the headline engine benchmark: a 100k-
+// observation contingency table over the 16-group census space,
+// bootstrapped with B=200 replicates. "engine" is the parallel O(cells)
+// multinomial path; "serial-alias" is the retained pre-engine baseline
+// that redraws all 100k observations per replicate from an alias table.
+// The engine's allocations stay O(1) per replicate (worker-pool scratch
+// only), which ReportAllocs makes visible.
+func BenchmarkEpsilonBootstrap(b *testing.B) {
+	space := census.Space()
+	counts := core.MustCounts(space, census.IncomeValues)
+	// Deterministic skewed fill totalling exactly 100k observations.
+	const n = 100_000
+	r := rng.New(41)
+	weights := make([]float64, space.Size()*2)
+	for i := range weights {
+		weights[i] = 0.2 + r.Float64()
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	placed := 0
+	for i, w := range weights {
+		k := int(float64(n) * w / wsum)
+		if i == len(weights)-1 {
+			k = n - placed
+		}
+		counts.MustAdd(i/2, i%2, float64(k))
+		placed += k
+	}
+	if counts.Total() != n {
+		b.Fatalf("fill error: total %v", counts.Total())
+	}
+	const replicates = 200
+	b.Run("engine", func(b *testing.B) {
+		rr := rng.New(8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := resample.EpsilonBootstrap(counts, 1, replicates, 0.95, rr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial-alias", func(b *testing.B) {
+		rr := rng.New(8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := resample.EpsilonBootstrapSerialAlias(counts, 1, replicates, 0.95, rr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMultinomialDraw isolates the per-replicate resampling cost:
+// one O(cells) conditional-binomial multinomial draw versus the O(n)
+// alias-table equivalent at bootstrap scale (n=100k over 32 cells).
+func BenchmarkMultinomialDraw(b *testing.B) {
+	r := rng.New(12)
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = 0.2 + r.Float64()
+	}
+	const n = 100_000
+	dst := make([]float64, len(weights))
+	b.Run("multinomial", func(b *testing.B) {
+		rr := rng.New(13)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr.Multinomial(dst, n, weights)
+		}
+	})
+	b.Run("alias", func(b *testing.B) {
+		rr := rng.New(13)
+		alias := rng.NewAlias(weights)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = 0
+			}
+			for j := 0; j < n; j++ {
+				dst[alias.Sample(rr)]++
+			}
+		}
+	})
+}
+
+// BenchmarkEpsilonCredible measures the pooled-buffer posterior ε path
+// (200 samples) on the census table.
+func BenchmarkEpsilonCredible(b *testing.B) {
+	train, _, err := census.Generate(census.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := bayes.NewDirichletMultinomial(counts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.EpsilonCredible(200, 0.95, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBootstrap measures the ε bootstrap at 100 replicates over the
 // small census table.
 func BenchmarkBootstrap(b *testing.B) {

@@ -79,10 +79,13 @@ func Run(counts *core.Counts, opts Options) (*Report, error) {
 	if opts.Alpha > 0 {
 		estimator = fmt.Sprintf("Dirichlet-smoothed, alpha=%g (Eq. 7)", opts.Alpha)
 	}
+	// Marginalization preserves outcome labels, so one copy serves every
+	// row of the ladder (Outcomes() copies on each call).
+	outcomes := counts.Outcomes()
 	rep := &Report{
 		Observations: counts.Total(),
 		Estimator:    estimator,
-		outcomes:     counts.Outcomes(),
+		outcomes:     outcomes,
 	}
 	fullCPT, err := toCPT(counts)
 	if err != nil {
@@ -95,31 +98,35 @@ func Run(counts *core.Counts, opts Options) (*Report, error) {
 	rep.Interp = core.Interpret(rep.Full.Epsilon)
 	rep.SubsetBound = core.SubsetBound(rep.Full)
 
-	subsetLists := [][]string{attrNames(counts.Space())}
 	if opts.Subsets {
-		subsetLists = counts.Space().SubsetNames()
-	}
-	for _, names := range subsetLists {
-		sub, err := counts.Marginalize(names...)
+		// The subset ladder shares marginalization work along the
+		// lattice (each subset's counts derived from a one-attribute-
+		// larger parent) instead of re-aggregating the full table 2^p
+		// times.
+		subs, err := core.EpsilonSubsetsCounts(counts, opts.Alpha)
 		if err != nil {
 			return nil, err
 		}
-		cpt, err := toCPT(sub)
-		if err != nil {
-			return nil, err
+		for _, s := range subs {
+			rep.Rows = append(rep.Rows, SubsetRow{
+				Attrs:  s.Attrs,
+				Result: s.Result,
+				Labels: [2]string{
+					s.Space.Label(s.Result.Witness.GroupHi),
+					s.Space.Label(s.Result.Witness.GroupLo),
+				},
+				Outcome: outcomes[s.Result.Witness.Outcome],
+			})
 		}
-		res, err := core.Epsilon(cpt)
-		if err != nil {
-			return nil, err
-		}
+	} else {
 		rep.Rows = append(rep.Rows, SubsetRow{
-			Attrs:  names,
-			Result: res,
+			Attrs:  attrNames(counts.Space()),
+			Result: rep.Full,
 			Labels: [2]string{
-				sub.Space().Label(res.Witness.GroupHi),
-				sub.Space().Label(res.Witness.GroupLo),
+				counts.Space().Label(rep.Full.Witness.GroupHi),
+				counts.Space().Label(rep.Full.Witness.GroupLo),
 			},
-			Outcome: sub.Outcomes()[res.Witness.Outcome],
+			Outcome: outcomes[rep.Full.Witness.Outcome],
 		})
 	}
 
@@ -136,19 +143,19 @@ func Run(counts *core.Counts, opts Options) (*Report, error) {
 	}
 
 	if counts.Space().NumAttrs() == 2 {
-		for y := range counts.Outcomes() {
+		for y := range outcomes {
 			revs, err := core.DetectSimpsonReversals(counts, y)
 			if err != nil {
 				return nil, err
 			}
 			for _, r := range revs {
 				rep.Reversals = append(rep.Reversals, r)
-				rep.ReversalOut = append(rep.ReversalOut, counts.Outcomes()[y])
+				rep.ReversalOut = append(rep.ReversalOut, outcomes[y])
 			}
 		}
 	}
 
-	if opts.RepairTarget > 0 && len(counts.Outcomes()) == 2 {
+	if opts.RepairTarget > 0 && len(outcomes) == 2 {
 		plan, err := repair.Binary(fullCPT, opts.RepairTarget)
 		if err != nil {
 			return nil, fmt.Errorf("audit: repair: %w", err)

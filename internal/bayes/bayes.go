@@ -8,6 +8,12 @@
 // each intersectional group: with a symmetric Dirichlet(α) prior the
 // posterior over P(·|s) is Dirichlet(N_{·,s} + α), whose posterior
 // predictive mean is exactly the smoothed estimator of Eq. 7.
+//
+// Posterior draws run on the same parallel engine as the bootstrap
+// (internal/par): sample i always uses RNG substream (seed, i) and lands
+// in slot i, so summaries are bit-identical regardless of GOMAXPROCS, and
+// EpsilonCredible reuses one pooled CPT buffer per worker instead of
+// materializing every sampled θ.
 package bayes
 
 import (
@@ -16,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -45,39 +52,81 @@ func (m *DirichletMultinomial) PosteriorPredictive(includeEmpty bool) (*core.CPT
 	return m.counts.Smoothed(m.alpha, includeEmpty)
 }
 
+// posteriorParams precomputes, once per call, the per-group posterior
+// Dirichlet concentrations N_{·,s} + α and group totals shared (read-only)
+// by every parallel sample.
+func (m *DirichletMultinomial) posteriorParams() (alphaPost []float64, groupTotals []float64) {
+	space := m.counts.Space()
+	k := m.counts.NumOutcomes()
+	alphaPost = make([]float64, space.Size()*k)
+	groupTotals = make([]float64, space.Size())
+	for g := 0; g < space.Size(); g++ {
+		groupTotals[g] = m.counts.GroupTotal(g)
+		for y := 0; y < k; y++ {
+			alphaPost[g*k+y] = m.counts.N(g, y) + m.alpha
+		}
+	}
+	return alphaPost, groupTotals
+}
+
+// sampleInto fills cpt with one posterior draw using the given generator:
+// for each supported group, P(·|s) ~ Dirichlet(N_{·,s} + α).
+func sampleInto(cpt *core.CPT, r *rng.RNG, probs []float64, alphaPost, groupTotals []float64) error {
+	k := len(probs)
+	for g := range groupTotals {
+		ns := groupTotals[g]
+		if ns <= 0 {
+			continue
+		}
+		r.Dirichlet(probs, alphaPost[g*k:(g+1)*k])
+		if err := cpt.SetRow(g, ns, probs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SamplePosterior draws n CPTs from the posterior: for each supported
 // group, P(·|s) ~ Dirichlet(N_{·,s} + α). The samples form a finite
 // approximation of the credible set Θ; core.FrameworkEpsilon over them is
 // the "Θ as a set of plausible distributions" reading of Definition 3.1.
+// Sample i is drawn from RNG substream (seed, i), so the returned set is
+// deterministic for a fixed r regardless of GOMAXPROCS.
 func (m *DirichletMultinomial) SamplePosterior(n int, r *rng.RNG) ([]*core.CPT, error) {
+	return m.samplePosterior(n, r, 0)
+}
+
+func (m *DirichletMultinomial) samplePosterior(n int, r *rng.RNG, workers int) ([]*core.CPT, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("bayes: need n > 0 samples, got %d", n)
 	}
 	space := m.counts.Space()
 	outcomes := m.counts.Outcomes()
 	k := len(outcomes)
-	alphaPost := make([]float64, k)
-	probs := make([]float64, k)
-	out := make([]*core.CPT, 0, n)
-	for i := 0; i < n; i++ {
+	alphaPost, groupTotals := m.posteriorParams()
+	base := r.Uint64()
+
+	type scratch struct {
+		rng   *rng.RNG
+		probs []float64
+	}
+	out := make([]*core.CPT, n)
+	err := par.DoErr(workers, n, func() *scratch {
+		return &scratch{rng: rng.New(0), probs: make([]float64, k)}
+	}, func(s *scratch, i int) error {
 		cpt, err := core.NewCPT(space, outcomes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for g := 0; g < space.Size(); g++ {
-			ns := m.counts.GroupTotal(g)
-			if ns <= 0 {
-				continue
-			}
-			for y := 0; y < k; y++ {
-				alphaPost[y] = m.counts.N(g, y) + m.alpha
-			}
-			r.Dirichlet(probs, alphaPost)
-			if err := cpt.SetRow(g, ns, probs...); err != nil {
-				return nil, err
-			}
+		s.rng.SeedStream(base, uint64(i))
+		if err := sampleInto(cpt, s.rng, s.probs, alphaPost, groupTotals); err != nil {
+			return err
 		}
-		out = append(out, cpt)
+		out[i] = cpt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -102,36 +151,69 @@ type EpsilonPosterior struct {
 }
 
 // EpsilonCredible draws n posterior samples and returns the posterior
-// summary of ε at the given credible level (in (0,1)).
+// summary of ε at the given credible level (in (0,1)). Unlike
+// SamplePosterior it never materializes the sampled CPTs: each worker
+// reuses one pooled CPT buffer across all samples it evaluates, so the
+// steady-state loop is allocation-free. Results are deterministic for a
+// fixed r regardless of GOMAXPROCS.
 func (m *DirichletMultinomial) EpsilonCredible(n int, level float64, r *rng.RNG) (EpsilonPosterior, error) {
+	return m.epsilonCredible(n, level, r, 0)
+}
+
+func (m *DirichletMultinomial) epsilonCredible(n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
 	if !(level > 0 && level < 1) {
 		return EpsilonPosterior{}, fmt.Errorf("bayes: credible level %v outside (0,1)", level)
 	}
-	thetas, err := m.SamplePosterior(n, r)
+	if n <= 0 {
+		return EpsilonPosterior{}, fmt.Errorf("bayes: need n > 0 samples, got %d", n)
+	}
+	space := m.counts.Space()
+	outcomes := m.counts.Outcomes()
+	k := len(outcomes)
+	alphaPost, groupTotals := m.posteriorParams()
+	base := r.Uint64()
+
+	type scratch struct {
+		rng   *rng.RNG
+		probs []float64
+		cpt   *core.CPT
+	}
+	eps := make([]float64, n)
+	err := par.DoErr(workers, n, func() *scratch {
+		return &scratch{
+			rng:   rng.New(0),
+			probs: make([]float64, k),
+			cpt:   core.MustCPT(space, outcomes),
+		}
+	}, func(s *scratch, i int) error {
+		s.rng.SeedStream(base, uint64(i))
+		if err := sampleInto(s.cpt, s.rng, s.probs, alphaPost, groupTotals); err != nil {
+			return err
+		}
+		res, err := core.Epsilon(s.cpt)
+		if err != nil {
+			return err
+		}
+		eps[i] = res.Epsilon
+		return nil
+	})
 	if err != nil {
 		return EpsilonPosterior{}, err
 	}
-	eps := make([]float64, 0, n)
+
 	var sum, sup float64
-	for _, theta := range thetas {
-		res, err := core.Epsilon(theta)
-		if err != nil {
-			return EpsilonPosterior{}, err
-		}
-		eps = append(eps, res.Epsilon)
-		sum += res.Epsilon
-		if res.Epsilon > sup {
-			sup = res.Epsilon
+	for _, e := range eps {
+		sum += e
+		if e > sup {
+			sup = e
 		}
 	}
 	sort.Float64s(eps)
-	lo := quantileSorted(eps, (1-level)/2)
-	hi := quantileSorted(eps, 1-(1-level)/2)
 	return EpsilonPosterior{
 		Mean:    sum / float64(len(eps)),
 		Median:  quantileSorted(eps, 0.5),
-		Lo:      lo,
-		Hi:      hi,
+		Lo:      quantileSorted(eps, (1-level)/2),
+		Hi:      quantileSorted(eps, 1-(1-level)/2),
 		Level:   level,
 		Samples: eps,
 		Sup:     sup,

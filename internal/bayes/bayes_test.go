@@ -2,6 +2,7 @@ package bayes
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -176,5 +177,81 @@ func TestQuantileSorted(t *testing.T) {
 	}
 	if got := quantileSorted(nil, 0.5); !math.IsNaN(got) {
 		t.Errorf("empty = %v", got)
+	}
+}
+
+// TestPosteriorDeterministicAcrossWorkerCounts: the parallel engine must
+// produce bit-identical posterior summaries no matter the pool size.
+func TestPosteriorDeterministicAcrossWorkerCounts(t *testing.T) {
+	c := demoCounts(t)
+	m, _ := NewDirichletMultinomial(c, 1)
+	var results []EpsilonPosterior
+	for _, workers := range []int{1, 2, 8} {
+		p, err := m.epsilonCredible(200, 0.9, rng.New(31), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, p)
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[0], results[i]
+		if a.Mean != b.Mean || a.Median != b.Median || a.Lo != b.Lo || a.Hi != b.Hi || a.Sup != b.Sup {
+			t.Fatalf("posterior summary differs across worker counts: %+v vs %+v", a, b)
+		}
+		for k := range a.Samples {
+			if a.Samples[k] != b.Samples[k] {
+				t.Fatalf("sample %d differs across worker counts", k)
+			}
+		}
+	}
+	// SamplePosterior shares the substream layout, so the materialized
+	// CPTs must also be worker-count independent.
+	s1, err := m.samplePosterior(20, rng.New(33), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := m.samplePosterior(20, rng.New(33), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		for g := 0; g < 2; g++ {
+			for y := 0; y < 2; y++ {
+				if s1[i].Prob(g, y) != s8[i].Prob(g, y) {
+					t.Fatalf("sample %d CPT differs across worker counts", i)
+				}
+			}
+		}
+	}
+}
+
+// TestEpsilonCredibleMatchesSamplePosterior: EpsilonCredible's pooled-
+// buffer path must evaluate exactly the θ set SamplePosterior returns for
+// the same seed.
+func TestEpsilonCredibleMatchesSamplePosterior(t *testing.T) {
+	c := demoCounts(t)
+	m, _ := NewDirichletMultinomial(c, 1)
+	const n = 100
+	thetas, err := m.SamplePosterior(n, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 0, n)
+	for _, theta := range thetas {
+		res, err := core.Epsilon(theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Epsilon)
+	}
+	sort.Float64s(want)
+	p, err := m.EpsilonCredible(n, 0.9, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != p.Samples[i] {
+			t.Fatalf("sample %d: credible path %v, materialized path %v", i, p.Samples[i], want[i])
+		}
 	}
 }

@@ -25,9 +25,10 @@ func ComposeIndependent(a, b *CPT) (*CPT, error) {
 	if a.Space() != b.Space() {
 		return nil, fmt.Errorf("core: compose requires a shared space")
 	}
-	outcomes := make([]string, 0, a.NumOutcomes()*b.NumOutcomes())
-	for _, oa := range a.Outcomes() {
-		for _, ob := range b.Outcomes() {
+	aOut, bOut := a.Outcomes(), b.Outcomes() // hoisted: Outcomes() copies
+	outcomes := make([]string, 0, len(aOut)*len(bOut))
+	for _, oa := range aOut {
+		for _, ob := range bOut {
 			outcomes = append(outcomes, oa+"|"+ob)
 		}
 	}

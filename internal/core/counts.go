@@ -8,10 +8,15 @@ import (
 // Counts is a contingency table N[s][y] of outcome counts per
 // intersectional group, the sufficient statistic for empirical
 // differential fairness (Definition 4.2).
+//
+// The backing storage is a single group-major strided []float64 (cell
+// (g, y) lives at n[g·|Y|+y]) so the whole table is one allocation and
+// hot paths — bootstrap replicates, streaming snapshots — can fill or
+// copy it with a single pass.
 type Counts struct {
 	space    *Space
 	outcomes []string
-	n        [][]float64
+	n        []float64 // len = space.Size() * len(outcomes), group-major
 }
 
 // NewCounts creates a zeroed contingency table.
@@ -22,11 +27,11 @@ func NewCounts(space *Space, outcomes []string) (*Counts, error) {
 	if len(outcomes) < 2 {
 		return nil, fmt.Errorf("core: need at least two outcomes, got %d", len(outcomes))
 	}
-	n := make([][]float64, space.Size())
-	for i := range n {
-		n[i] = make([]float64, len(outcomes))
-	}
-	return &Counts{space: space, outcomes: append([]string(nil), outcomes...), n: n}, nil
+	return &Counts{
+		space:    space,
+		outcomes: append([]string(nil), outcomes...),
+		n:        make([]float64, space.Size()*len(outcomes)),
+	}, nil
 }
 
 // MustCounts is NewCounts but panics on error.
@@ -41,8 +46,23 @@ func MustCounts(space *Space, outcomes []string) *Counts {
 // Space returns the protected-attribute space.
 func (c *Counts) Space() *Space { return c.space }
 
-// Outcomes returns a copy of the outcome labels.
+// Outcomes returns a copy of the outcome labels. Hot loops should prefer
+// NumOutcomes/Outcome, which do not allocate.
 func (c *Counts) Outcomes() []string { return append([]string(nil), c.outcomes...) }
+
+// NumOutcomes returns |Y| without allocating.
+func (c *Counts) NumOutcomes() int { return len(c.outcomes) }
+
+// Outcome returns the label of one outcome without copying the label
+// slice.
+func (c *Counts) Outcome(i int) string { return c.outcomes[i] }
+
+// Cells returns the live backing storage in group-major order: cell
+// (g, y) is Cells()[g*NumOutcomes()+y]. It is a mutable view, not a copy;
+// it exists for allocation-free hot paths (e.g. filling a bootstrap
+// replicate with one multinomial draw). Callers that write through it are
+// responsible for keeping every cell finite and non-negative.
+func (c *Counts) Cells() []float64 { return c.n }
 
 // Add increments N[group][outcome] by delta (delta may be fractional for
 // weighted data). It errors on out-of-range indices or negative results.
@@ -56,10 +76,11 @@ func (c *Counts) Add(group, outcome int, delta float64) error {
 	if math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return fmt.Errorf("core: invalid delta %v", delta)
 	}
-	if c.n[group][outcome]+delta < 0 {
+	i := group*len(c.outcomes) + outcome
+	if c.n[i]+delta < 0 {
 		return fmt.Errorf("core: count for group %d outcome %d would become negative", group, outcome)
 	}
-	c.n[group][outcome] += delta
+	c.n[i] += delta
 	return nil
 }
 
@@ -74,12 +95,13 @@ func (c *Counts) MustAdd(group, outcome int, delta float64) {
 func (c *Counts) Observe(group, outcome int) error { return c.Add(group, outcome, 1) }
 
 // N returns N[group][outcome].
-func (c *Counts) N(group, outcome int) float64 { return c.n[group][outcome] }
+func (c *Counts) N(group, outcome int) float64 { return c.n[group*len(c.outcomes)+outcome] }
 
 // GroupTotal returns N_s = Σ_y N[s][y].
 func (c *Counts) GroupTotal(group int) float64 {
+	k := len(c.outcomes)
 	var sum float64
-	for _, v := range c.n[group] {
+	for _, v := range c.n[group*k : (group+1)*k] {
 		sum += v
 	}
 	return sum
@@ -87,9 +109,10 @@ func (c *Counts) GroupTotal(group int) float64 {
 
 // OutcomeTotal returns N_y = Σ_s N[s][y].
 func (c *Counts) OutcomeTotal(outcome int) float64 {
+	k := len(c.outcomes)
 	var sum float64
-	for g := range c.n {
-		sum += c.n[g][outcome]
+	for i := outcome; i < len(c.n); i += k {
+		sum += c.n[i]
 	}
 	return sum
 }
@@ -97,12 +120,15 @@ func (c *Counts) OutcomeTotal(outcome int) float64 {
 // Total returns the number of observations N.
 func (c *Counts) Total() float64 {
 	var sum float64
-	for g := range c.n {
-		for _, v := range c.n[g] {
-			sum += v
-		}
+	for _, v := range c.n {
+		sum += v
 	}
 	return sum
+}
+
+// Reset zeroes every cell, recycling the table for a fresh accumulation.
+func (c *Counts) Reset() {
+	clear(c.n)
 }
 
 // Empirical converts counts to a CPT using the plug-in estimator of
@@ -111,18 +137,39 @@ func (c *Counts) Total() float64 {
 // condition.
 func (c *Counts) Empirical() *CPT {
 	out := MustCPT(c.space, c.outcomes)
-	for g := range c.n {
-		ns := c.GroupTotal(g)
-		if ns <= 0 {
-			continue
-		}
-		probs := make([]float64, len(c.outcomes))
-		for y := range probs {
-			probs[y] = c.n[g][y] / ns
-		}
-		out.MustSetRow(g, ns, probs...)
+	if err := c.EmpiricalInto(out); err != nil {
+		panic(err) // impossible: shapes match by construction
 	}
 	return out
+}
+
+// EmpiricalInto is Empirical writing into a caller-owned CPT buffer,
+// overwriting every row and weight, so repeated conversions (bootstrap
+// replicates, posterior draws, streaming snapshots) are allocation-free.
+// dst must have the same group count and number of outcomes.
+func (c *Counts) EmpiricalInto(dst *CPT) error {
+	if err := c.checkShape(dst); err != nil {
+		return err
+	}
+	k := len(c.outcomes)
+	for g := 0; g < c.space.Size(); g++ {
+		row := c.n[g*k : (g+1)*k]
+		var ns float64
+		for _, v := range row {
+			ns += v
+		}
+		out := dst.p[g*k : (g+1)*k]
+		if ns <= 0 {
+			dst.weight[g] = 0
+			clear(out)
+			continue
+		}
+		for y, v := range row {
+			out[y] = v / ns
+		}
+		dst.weight[g] = ns
+	}
+	return nil
 }
 
 // Smoothed converts counts to a CPT using the Dirichlet-multinomial
@@ -135,29 +182,60 @@ func (c *Counts) Empirical() *CPT {
 // which case they receive the prior-predictive uniform distribution with
 // an infinitesimal positive weight so they participate in ε.
 func (c *Counts) Smoothed(alpha float64, includeEmpty bool) (*CPT, error) {
-	if !(alpha > 0) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("core: smoothing requires alpha > 0, got %v", alpha)
-	}
 	out := MustCPT(c.space, c.outcomes)
-	k := float64(len(c.outcomes))
-	for g := range c.n {
-		ns := c.GroupTotal(g)
-		if ns <= 0 && !includeEmpty {
-			continue
-		}
-		probs := make([]float64, len(c.outcomes))
-		for y := range probs {
-			probs[y] = (c.n[g][y] + alpha) / (ns + k*alpha)
-		}
-		w := ns
-		if w <= 0 {
-			w = math.SmallestNonzeroFloat64
-		}
-		if err := out.SetRow(g, w, probs...); err != nil {
-			return nil, err
-		}
+	if err := c.SmoothedInto(out, alpha, includeEmpty); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SmoothedInto is Smoothed writing into a caller-owned CPT buffer,
+// overwriting every row and weight. dst must have the same group count
+// and number of outcomes.
+func (c *Counts) SmoothedInto(dst *CPT, alpha float64, includeEmpty bool) error {
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return fmt.Errorf("core: smoothing requires alpha > 0, got %v", alpha)
+	}
+	if err := c.checkShape(dst); err != nil {
+		return err
+	}
+	k := len(c.outcomes)
+	kf := float64(k)
+	for g := 0; g < c.space.Size(); g++ {
+		row := c.n[g*k : (g+1)*k]
+		var ns float64
+		for _, v := range row {
+			ns += v
+		}
+		out := dst.p[g*k : (g+1)*k]
+		if ns <= 0 && !includeEmpty {
+			dst.weight[g] = 0
+			clear(out)
+			continue
+		}
+		denom := ns + kf*alpha
+		for y, v := range row {
+			out[y] = (v + alpha) / denom
+		}
+		if ns > 0 {
+			dst.weight[g] = ns
+		} else {
+			dst.weight[g] = math.SmallestNonzeroFloat64
+		}
+	}
+	return nil
+}
+
+// checkShape verifies dst can hold a CPT derived from these counts.
+func (c *Counts) checkShape(dst *CPT) error {
+	if dst == nil {
+		return fmt.Errorf("core: nil destination CPT")
+	}
+	if dst.space.Size() != c.space.Size() || len(dst.outcomes) != len(c.outcomes) {
+		return fmt.Errorf("core: destination CPT shape %dx%d does not match counts %dx%d",
+			dst.space.Size(), len(dst.outcomes), c.space.Size(), len(c.outcomes))
+	}
+	return nil
 }
 
 // Marginalize aggregates counts over the named subset of attributes by
@@ -172,10 +250,13 @@ func (c *Counts) Marginalize(names ...string) (*Counts, error) {
 	if err != nil {
 		return nil, err
 	}
-	for g := range c.n {
+	k := len(c.outcomes)
+	for g := 0; g < c.space.Size(); g++ {
 		d := c.space.Project(g, sub, positions)
-		for y, v := range c.n[g] {
-			out.n[d][y] += v
+		src := c.n[g*k : (g+1)*k]
+		dst := out.n[d*k : (d+1)*k]
+		for y, v := range src {
+			dst[y] += v
 		}
 	}
 	return out, nil
@@ -184,9 +265,7 @@ func (c *Counts) Marginalize(names ...string) (*Counts, error) {
 // Clone returns a deep copy.
 func (c *Counts) Clone() *Counts {
 	out := MustCounts(c.space, c.outcomes)
-	for g := range c.n {
-		copy(out.n[g], c.n[g])
-	}
+	copy(out.n, c.n)
 	return out
 }
 

@@ -217,3 +217,106 @@ func TestCountsCloneIsDeep(t *testing.T) {
 		t.Fatal("Clone shares storage")
 	}
 }
+
+func TestEmpiricalIntoMatchesEmpirical(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCounts(s, []string{"no", "yes"})
+	c.MustAdd(0, 0, 30)
+	c.MustAdd(0, 1, 70)
+	c.MustAdd(1, 0, 55)
+	c.MustAdd(1, 1, 45)
+	want := c.Empirical()
+	dst := MustCPT(s, []string{"no", "yes"})
+	// Pre-dirty the buffer: Into must overwrite every row and weight.
+	dst.MustSetRow(0, 3, 0.5, 0.5)
+	dst.MustSetRow(1, 3, 0.5, 0.5)
+	if err := c.EmpiricalInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < s.Size(); g++ {
+		if dst.Weight(g) != want.Weight(g) {
+			t.Fatalf("weight[%d] = %v, want %v", g, dst.Weight(g), want.Weight(g))
+		}
+		for y := 0; y < 2; y++ {
+			if dst.Prob(g, y) != want.Prob(g, y) {
+				t.Fatalf("p[%d][%d] = %v, want %v", g, y, dst.Prob(g, y), want.Prob(g, y))
+			}
+		}
+	}
+}
+
+func TestEmpiricalIntoClearsStaleSupport(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCounts(s, []string{"no", "yes"})
+	c.MustAdd(0, 0, 5)
+	c.MustAdd(0, 1, 5)
+	// Group 1 has no observations; a stale supported row in dst must be
+	// cleared, not survive.
+	dst := MustCPT(s, []string{"no", "yes"})
+	dst.MustSetRow(1, 9, 0.2, 0.8)
+	if err := c.EmpiricalInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Supported(1) {
+		t.Fatal("stale support survived EmpiricalInto")
+	}
+	if dst.Prob(1, 1) != 0 {
+		t.Fatal("stale probabilities survived EmpiricalInto")
+	}
+}
+
+func TestSmoothedIntoMatchesSmoothed(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCounts(s, []string{"no", "yes"})
+	c.MustAdd(0, 1, 10)
+	c.MustAdd(1, 0, 4)
+	c.MustAdd(1, 1, 6)
+	for _, includeEmpty := range []bool{false, true} {
+		want, err := c.Smoothed(0.5, includeEmpty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := MustCPT(s, []string{"no", "yes"})
+		if err := c.SmoothedInto(dst, 0.5, includeEmpty); err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < s.Size(); g++ {
+			if dst.Weight(g) != want.Weight(g) {
+				t.Fatalf("includeEmpty=%v weight[%d] = %v, want %v", includeEmpty, g, dst.Weight(g), want.Weight(g))
+			}
+			for y := 0; y < 2; y++ {
+				if dst.Prob(g, y) != want.Prob(g, y) {
+					t.Fatalf("includeEmpty=%v p mismatch at (%d,%d)", includeEmpty, g, y)
+				}
+			}
+		}
+	}
+	if err := c.SmoothedInto(MustCPT(s, []string{"no", "yes"}), 0, false); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if err := c.SmoothedInto(nil, 1, false); err == nil {
+		t.Error("nil destination accepted")
+	}
+	tiny := MustSpace(Attr{Name: "z", Values: []string{"only"}})
+	if err := c.EmpiricalInto(MustCPT(tiny, []string{"no", "yes"})); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestCellsViewAndReset(t *testing.T) {
+	s := binarySpace(t)
+	c := MustCounts(s, []string{"no", "yes"})
+	cells := c.Cells()
+	if len(cells) != s.Size()*2 {
+		t.Fatalf("Cells length %d, want %d", len(cells), s.Size()*2)
+	}
+	// The view is live: writes through it are visible to accessors.
+	cells[0*2+1] = 42
+	if got := c.N(0, 1); got != 42 {
+		t.Fatalf("write through Cells not visible: N(0,1) = %v", got)
+	}
+	c.Reset()
+	if c.Total() != 0 || c.N(0, 1) != 0 {
+		t.Fatal("Reset left nonzero cells")
+	}
+}

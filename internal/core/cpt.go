@@ -13,11 +13,16 @@ import (
 //
 // Groups with weight 0 are unsupported: they are excluded from ε
 // computations, exactly as Definition 3.1 requires P(s|θ) > 0.
+//
+// The probability storage is one group-major strided []float64 (row g
+// occupies p[g·|Y| : (g+1)·|Y|]) so a table is two allocations total and
+// buffer-reusing converters (Counts.EmpiricalInto / SmoothedInto) can
+// refill it without allocating.
 type CPT struct {
 	space    *Space
 	outcomes []string
-	p        [][]float64 // p[group][outcome]
-	weight   []float64   // P(s); >= 0, need not be normalized
+	p        []float64 // len = space.Size() * len(outcomes), group-major
+	weight   []float64 // P(s); >= 0, need not be normalized
 }
 
 // NewCPT creates an empty CPT (all groups unsupported) with the given
@@ -36,14 +41,10 @@ func NewCPT(space *Space, outcomes []string) (*CPT, error) {
 		}
 		seen[o] = true
 	}
-	p := make([][]float64, space.Size())
-	for i := range p {
-		p[i] = make([]float64, len(outcomes))
-	}
 	return &CPT{
 		space:    space,
 		outcomes: append([]string(nil), outcomes...),
-		p:        p,
+		p:        make([]float64, space.Size()*len(outcomes)),
 		weight:   make([]float64, space.Size()),
 	}, nil
 }
@@ -60,11 +61,16 @@ func MustCPT(space *Space, outcomes []string) *CPT {
 // Space returns the protected-attribute space.
 func (c *CPT) Space() *Space { return c.space }
 
-// Outcomes returns a copy of the outcome labels.
+// Outcomes returns a copy of the outcome labels. Hot loops should prefer
+// NumOutcomes/Outcome, which do not allocate.
 func (c *CPT) Outcomes() []string { return append([]string(nil), c.outcomes...) }
 
 // NumOutcomes returns |Y|.
 func (c *CPT) NumOutcomes() int { return len(c.outcomes) }
+
+// Outcome returns the label of one outcome without copying the label
+// slice.
+func (c *CPT) Outcome(i int) string { return c.outcomes[i] }
 
 // SetRow sets P(·|s) for one group along with its weight P(s). The
 // probabilities must be non-negative and sum to 1 within tolerance; a
@@ -89,7 +95,7 @@ func (c *CPT) SetRow(group int, weight float64, probs ...float64) error {
 	if weight > 0 && math.Abs(sum-1) > 1e-9 {
 		return fmt.Errorf("core: probabilities for group %d sum to %v, want 1", group, sum)
 	}
-	copy(c.p[group], probs)
+	copy(c.row(group), probs)
 	c.weight[group] = weight
 	return nil
 }
@@ -101,12 +107,18 @@ func (c *CPT) MustSetRow(group int, weight float64, probs ...float64) {
 	}
 }
 
+// row returns the live backing slice of P(·|group).
+func (c *CPT) row(group int) []float64 {
+	k := len(c.outcomes)
+	return c.p[group*k : (group+1)*k]
+}
+
 // Prob returns P(outcome | group). For unsupported groups it returns the
 // stored value (normally 0).
-func (c *CPT) Prob(group, outcome int) float64 { return c.p[group][outcome] }
+func (c *CPT) Prob(group, outcome int) float64 { return c.p[group*len(c.outcomes)+outcome] }
 
 // Row returns a copy of P(·|group).
-func (c *CPT) Row(group int) []float64 { return append([]float64(nil), c.p[group]...) }
+func (c *CPT) Row(group int) []float64 { return append([]float64(nil), c.row(group)...) }
 
 // Weight returns the (unnormalized) group weight P(s).
 func (c *CPT) Weight(group int) float64 { return c.weight[group] }
@@ -125,17 +137,25 @@ func (c *CPT) SupportedGroups() []int {
 	return out
 }
 
+// Reset marks every group unsupported and zeroes all probabilities,
+// recycling the table as a conversion buffer.
+func (c *CPT) Reset() {
+	clear(c.p)
+	clear(c.weight)
+}
+
 // Validate checks that at least two groups are supported and that every
-// supported row is a probability vector.
+// supported row is a probability vector. A table with fewer than two
+// supported groups fails with an error wrapping ErrDegenerateSupport.
 func (c *CPT) Validate() error {
 	supported := 0
-	for g := range c.p {
+	for g := range c.weight {
 		if c.weight[g] <= 0 {
 			continue
 		}
 		supported++
 		var sum float64
-		for _, p := range c.p[g] {
+		for _, p := range c.row(g) {
 			if !(p >= 0) {
 				return fmt.Errorf("core: group %d (%s) has invalid probability", g, c.space.Label(g))
 			}
@@ -146,7 +166,8 @@ func (c *CPT) Validate() error {
 		}
 	}
 	if supported < 2 {
-		return fmt.Errorf("core: only %d supported groups; need at least two to compare", supported)
+		return fmt.Errorf("core: only %d supported groups; need at least two to compare: %w",
+			supported, ErrDegenerateSupport)
 	}
 	return nil
 }
@@ -154,9 +175,7 @@ func (c *CPT) Validate() error {
 // Clone returns a deep copy.
 func (c *CPT) Clone() *CPT {
 	out := MustCPT(c.space, c.outcomes)
-	for g := range c.p {
-		copy(out.p[g], c.p[g])
-	}
+	copy(out.p, c.p)
 	copy(out.weight, c.weight)
 	return out
 }
@@ -179,33 +198,32 @@ func (c *CPT) Marginalize(names ...string) (*CPT, error) {
 	if err != nil {
 		return nil, err
 	}
-	sums := make([][]float64, sub.Size())
+	k := len(c.outcomes)
+	sums := make([]float64, sub.Size()*k)
 	weights := make([]float64, sub.Size())
-	for i := range sums {
-		sums[i] = make([]float64, len(c.outcomes))
-	}
-	for g := range c.p {
+	for g := 0; g < c.space.Size(); g++ {
 		w := c.weight[g]
 		if w <= 0 {
 			continue
 		}
 		d := c.space.Project(g, sub, positions)
 		weights[d] += w
-		for y, p := range c.p[g] {
-			sums[d][y] += w * p
+		row := c.row(g)
+		acc := sums[d*k : (d+1)*k]
+		for y, p := range row {
+			acc[y] += w * p
 		}
 	}
-	for d := range sums {
+	for d := 0; d < sub.Size(); d++ {
 		if weights[d] <= 0 {
 			continue
 		}
-		probs := make([]float64, len(c.outcomes))
-		for y := range probs {
-			probs[y] = sums[d][y] / weights[d]
+		dst := out.row(d)
+		acc := sums[d*k : (d+1)*k]
+		for y := range dst {
+			dst[y] = acc[y] / weights[d]
 		}
-		if err := out.SetRow(d, weights[d], probs...); err != nil {
-			return nil, err
-		}
+		out.weight[d] = weights[d]
 	}
 	return out, nil
 }

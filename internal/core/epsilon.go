@@ -1,11 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
+
+// ErrDegenerateSupport marks validation failures caused by fewer than two
+// supported groups — a table with no pairs to compare. Resampling layers
+// use it (via errors.Is) to tell legitimately degenerate replicates, which
+// score ε = +Inf, apart from unexpected errors that must fail the call.
+var ErrDegenerateSupport = errors.New("fewer than two supported groups")
 
 // Witness records the outcome and group pair achieving the maximal
 // probability ratio — the intersections the mechanism treats most
@@ -36,19 +44,25 @@ type EpsilonResult struct {
 // Outcome probabilities that are zero for every supported group are
 // skipped (the ratio 0/0 carries no fairness information); a zero against
 // a positive probability yields ε = +Inf with Finite=false.
+//
+// Epsilon performs no allocations on the success path, so per-replicate
+// resampling loops can call it freely.
 func Epsilon(c *CPT) (EpsilonResult, error) {
 	if err := c.Validate(); err != nil {
 		return EpsilonResult{}, err
 	}
-	groups := c.SupportedGroups()
 	res := EpsilonResult{Epsilon: 0, Finite: true}
 	for y := 0; y < c.NumOutcomes(); y++ {
 		// For a fixed outcome the maximal |log ratio| over pairs is
-		// log(max) − log(min), so a single scan suffices.
+		// log(max) − log(min), so a single scan over the supported groups
+		// suffices (checked inline to avoid the SupportedGroups slice).
 		hiG, loG := -1, -1
 		hiP, loP := math.Inf(-1), math.Inf(1)
 		anyPositive := false
-		for _, g := range groups {
+		for g := 0; g < c.space.Size(); g++ {
+			if c.weight[g] <= 0 {
+				continue
+			}
 			p := c.Prob(g, y)
 			if p > 0 {
 				anyPositive = true
@@ -117,6 +131,9 @@ func FrameworkEpsilon(thetas []*CPT) (EpsilonResult, error) {
 type SubsetEpsilon struct {
 	Attrs  []string
 	Result EpsilonResult
+	// Space is the marginal space the subset was measured over; its
+	// Label method renders the witness group indices in Result.
+	Space *Space
 }
 
 // Key renders the subset as a comma-joined attribute list.
@@ -140,7 +157,7 @@ func EpsilonSubsetsCPT(c *CPT) ([]SubsetEpsilon, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: subset %v: %w", names, err)
 		}
-		out = append(out, SubsetEpsilon{Attrs: names, Result: r})
+		out = append(out, SubsetEpsilon{Attrs: names, Result: r, Space: m.Space()})
 	}
 	return out, nil
 }
@@ -149,13 +166,68 @@ func EpsilonSubsetsCPT(c *CPT) ([]SubsetEpsilon, error) {
 // subset of the protected attributes by aggregating counts, the
 // computation behind the paper's Table 2. If alpha > 0 the smoothed
 // estimator (Eq. 7) is used instead.
+//
+// Marginal tables are shared along the subset lattice: each subset's
+// counts are derived by dropping a single attribute from an
+// already-computed parent marginal (one attribute larger) instead of
+// re-aggregating the full table, so the total work is Σ over subsets of
+// the *parent* table size rather than 2^p × the full table size.
 func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
+	space := c.Space()
+	p := space.NumAttrs()
+	attrs := space.Attrs()
+	fullMask := 1<<p - 1
+
+	maskOf := func(names []string) (int, error) {
+		mask := 0
+		for _, n := range names {
+			i, ok := space.AttrIndex(n)
+			if !ok {
+				return 0, fmt.Errorf("core: unknown attribute %q", n)
+			}
+			mask |= 1 << i
+		}
+		return mask, nil
+	}
+	namesOf := func(mask int) []string {
+		var names []string
+		for i := 0; i < p; i++ {
+			if mask&(1<<i) != 0 {
+				names = append(names, attrs[i].Name)
+			}
+		}
+		return names
+	}
+
+	// Build every marginal from its parent in the lattice, walking masks
+	// by decreasing popcount so parents are always ready.
+	marg := make([]*Counts, fullMask+1)
+	marg[fullMask] = c
+	byPopcount := make([][]int, p+1)
+	for mask := 1; mask < fullMask; mask++ {
+		n := bits.OnesCount(uint(mask))
+		byPopcount[n] = append(byPopcount[n], mask)
+	}
+	for size := p - 1; size >= 1; size-- {
+		for _, mask := range byPopcount[size] {
+			// Parent: this subset plus the lowest missing attribute.
+			missing := fullMask &^ mask
+			parent := mask | (missing & -missing)
+			m, err := marg[parent].Marginalize(namesOf(mask)...)
+			if err != nil {
+				return nil, err
+			}
+			marg[mask] = m
+		}
+	}
+
 	var out []SubsetEpsilon
-	for _, names := range c.Space().SubsetNames() {
-		m, err := c.Marginalize(names...)
+	for _, names := range space.SubsetNames() {
+		mask, err := maskOf(names)
 		if err != nil {
 			return nil, err
 		}
+		m := marg[mask]
 		var cpt *CPT
 		if alpha > 0 {
 			cpt, err = m.Smoothed(alpha, false)
@@ -169,7 +241,7 @@ func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: subset %v: %w", names, err)
 		}
-		out = append(out, SubsetEpsilon{Attrs: names, Result: r})
+		out = append(out, SubsetEpsilon{Attrs: names, Result: r, Space: m.Space()})
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -287,5 +288,98 @@ func TestEpsilonErrorOnInvalidCPT(t *testing.T) {
 	c.MustSetRow(0, 1, 0.5, 0.5)
 	if _, err := Epsilon(c); err == nil {
 		t.Fatal("single-group CPT accepted by Epsilon")
+	}
+}
+
+// TestEpsilonSubsetsCountsLatticeMatchesDirect: the lattice-shared
+// marginalization (each subset derived from a one-attribute-larger
+// parent) must agree with marginalizing every subset directly from the
+// full table.
+func TestEpsilonSubsetsCountsLatticeMatchesDirect(t *testing.T) {
+	space := MustSpace(
+		Attr{Name: "a", Values: []string{"0", "1"}},
+		Attr{Name: "b", Values: []string{"0", "1", "2"}},
+		Attr{Name: "c", Values: []string{"0", "1"}},
+	)
+	c := MustCounts(space, []string{"no", "yes"})
+	// Deterministic pseudo-random integer fill with every cell positive.
+	v := uint64(12345)
+	for g := 0; g < space.Size(); g++ {
+		for y := 0; y < 2; y++ {
+			v = v*6364136223846793005 + 1442695040888963407
+			c.MustAdd(g, y, float64(1+v%97))
+		}
+	}
+	for _, alpha := range []float64{0, 1} {
+		got, err := EpsilonSubsetsCounts(c, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 7 {
+			t.Fatalf("got %d subsets, want 7", len(got))
+		}
+		for _, sub := range got {
+			if sub.Space == nil {
+				t.Fatalf("subset %v missing Space", sub.Attrs)
+			}
+			m, err := c.Marginalize(sub.Attrs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cpt *CPT
+			if alpha > 0 {
+				cpt, err = m.Smoothed(alpha, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				cpt = m.Empirical()
+			}
+			want, err := Epsilon(cpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sub.Result.Epsilon-want.Epsilon) > 1e-12 {
+				t.Fatalf("subset %v: lattice eps %v, direct eps %v",
+					sub.Attrs, sub.Result.Epsilon, want.Epsilon)
+			}
+			if sub.Space.Size() != m.Space().Size() {
+				t.Fatalf("subset %v: space size %d, want %d",
+					sub.Attrs, sub.Space.Size(), m.Space().Size())
+			}
+		}
+	}
+}
+
+func TestEpsilonAllocFree(t *testing.T) {
+	space := MustSpace(
+		Attr{Name: "a", Values: []string{"0", "1"}},
+		Attr{Name: "b", Values: []string{"0", "1"}},
+	)
+	cpt := MustCPT(space, []string{"no", "yes"})
+	for g := 0; g < space.Size(); g++ {
+		p := 0.2 + 0.15*float64(g)
+		cpt.MustSetRow(g, 1, 1-p, p)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Epsilon(cpt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Epsilon allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestValidateDegenerateSentinel(t *testing.T) {
+	space := MustSpace(Attr{Name: "a", Values: []string{"0", "1"}})
+	cpt := MustCPT(space, []string{"no", "yes"})
+	cpt.MustSetRow(0, 1, 0.5, 0.5) // only one supported group
+	err := cpt.Validate()
+	if err == nil {
+		t.Fatal("degenerate CPT validated")
+	}
+	if !errors.Is(err, ErrDegenerateSupport) {
+		t.Fatalf("error %v does not wrap ErrDegenerateSupport", err)
 	}
 }

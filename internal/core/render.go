@@ -19,7 +19,7 @@ func (c *CPT) String() string {
 		}
 		cells := make([]string, len(c.outcomes))
 		for y := range cells {
-			cells[y] = fmt.Sprintf("%.4f", c.p[g][y])
+			cells[y] = fmt.Sprintf("%.4f", c.Prob(g, y))
 		}
 		fmt.Fprintf(w, "%s\t%.4g\t%s\n", c.space.Label(g), c.weight[g], strings.Join(cells, "\t"))
 	}
@@ -39,7 +39,7 @@ func (c *Counts) String() string {
 		}
 		cells := make([]string, len(c.outcomes))
 		for y := range cells {
-			cells[y] = fmt.Sprintf("%g", c.n[g][y])
+			cells[y] = fmt.Sprintf("%g", c.N(g, y))
 		}
 		fmt.Fprintf(w, "%s\t%s\t%g\n", c.space.Label(g), strings.Join(cells, "\t"), total)
 	}

@@ -52,7 +52,7 @@ func DetectSimpsonReversals(c *Counts, outcome int) ([]SimpsonReversal, error) {
 			var hit, tot float64
 			for vb := 0; vb < attrB.Cardinality(); vb++ {
 				g := groupIndex2(space, a, va, vb)
-				hit += c.n[g][outcome]
+				hit += c.N(g, outcome)
 				tot += c.GroupTotal(g)
 			}
 			if tot > 0 {
@@ -79,7 +79,7 @@ func DetectSimpsonReversals(c *Counts, outcome int) ([]SimpsonReversal, error) {
 						reversed = false
 						break
 					}
-					d := c.n[g1][outcome]/t1 - c.n[g2][outcome]/t2
+					d := c.N(g1, outcome)/t1 - c.N(g2, outcome)/t2
 					diffs = append(diffs, d)
 					if d*aggDiff >= 0 { // same sign or zero: not a strict reversal
 						reversed = false

@@ -1,0 +1,88 @@
+// Package par is the replicate-parallel execution substrate shared by the
+// uncertainty layers (bootstrap resampling, posterior sampling). It runs n
+// independent tasks on a small worker pool where each worker owns private
+// scratch state (counts/CPT buffers, a re-seedable RNG), so the per-task
+// inner loops are allocation-free and results land in caller-indexed slots
+// — making output bit-identical regardless of GOMAXPROCS or scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: 0 (or negative) means one
+// worker per available CPU, and the result never exceeds n (no idle
+// goroutines for small jobs).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs task(state, i) for every i in [0, n) on `workers` goroutines
+// (0 = one per CPU). Each worker calls newState once and reuses the
+// returned scratch across all tasks it executes, so per-task allocations
+// are amortized to zero. Tasks are claimed dynamically (an atomic cursor),
+// which balances uneven task costs; determinism is the task's job — write
+// results only to slot i and derive any randomness from i, never from the
+// executing worker or claim order.
+func Do[S any](workers, n int, newState func() S, task func(state S, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		s := newState()
+		for i := 0; i < n; i++ {
+			task(s, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			s := newState()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(s, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr is Do for tasks that can fail. Every task runs regardless of
+// other tasks' failures (slots stay deterministic); afterwards the error
+// of the lowest-indexed failed task is returned — the same error no
+// matter how tasks were scheduled — or nil if all succeeded.
+func DoErr[S any](workers, n int, newState func() S, task func(state S, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Do(workers, n, newState, func(s S, i int) {
+		errs[i] = task(s, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Errorf("Workers(4, 100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d", got)
+	}
+	if got := Workers(0, 1); got != 1 {
+		t.Errorf("Workers(0, 1) = %d", got)
+	}
+	if got := Workers(-1, 2); got < 1 || got > 2 {
+		t.Errorf("Workers(-1, 2) = %d", got)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		hits := make([]int32, n)
+		Do(workers, n, func() struct{} { return struct{}{} }, func(_ struct{}, i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoWorkerLocalState(t *testing.T) {
+	// Each worker's state must be private: concurrent unsynchronized
+	// mutation would trip the race detector if states were shared.
+	type scratch struct{ sum int }
+	var created atomic.Int32
+	const n = 500
+	Do(4, n, func() *scratch {
+		created.Add(1)
+		return &scratch{}
+	}, func(s *scratch, i int) {
+		s.sum += i
+	})
+	if c := created.Load(); c < 1 || c > 4 {
+		t.Fatalf("created %d states, want 1..4", c)
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	called := false
+	Do(4, 0, func() struct{} { called = true; return struct{}{} }, func(struct{}, int) {
+		t.Fatal("task ran for n=0")
+	})
+	if called {
+		t.Fatal("state constructed for n=0")
+	}
+}
+
+func TestDoErrReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := DoErr(workers, 100, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+			if i == 13 || i == 77 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 13 failed" {
+			t.Fatalf("workers=%d: got %v, want task 13's error", workers, err)
+		}
+	}
+	if err := DoErr(4, 50, func() struct{} { return struct{}{} }, func(struct{}, int) error { return nil }); err != nil {
+		t.Fatalf("all-success returned %v", err)
+	}
+	if err := DoErr(4, 0, func() struct{} { return struct{}{} }, func(struct{}, int) error { return fmt.Errorf("x") }); err != nil {
+		t.Fatalf("n=0 returned %v", err)
+	}
+}

@@ -3,14 +3,24 @@
 // posterior credible intervals. Small intersections make the plug-in ε
 // of Eq. 6 noisy (the sparsity problem the paper's Eq. 7 addresses);
 // bootstrap intervals make that noise visible.
+//
+// Replicates run on a parallel engine: each replicate is one
+// conditional-binomial multinomial draw over the (group, outcome) cells —
+// O(|A|·|Y|) rather than the O(n) per-observation draws of alias
+// resampling — executed on a worker pool whose workers reuse a private
+// Counts/CPT buffer pair and a re-seedable RNG. Replicate r always uses
+// RNG substream (seed, r) and writes only slot r, so intervals are
+// bit-identical regardless of GOMAXPROCS.
 package resample
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -34,49 +44,115 @@ type Interval struct {
 // over all (group, outcome) cells, preserving the total count) and
 // returns the percentile interval of ε at the given level. alpha > 0
 // applies Eq. 7 smoothing to each replicate; with alpha = 0 some
-// replicates may have infinite ε, which is reported via InfiniteShare
+// replicates may have infinite ε (including replicates that concentrate
+// all mass in fewer than two groups), which is reported via InfiniteShare
 // and treated as +Inf in the percentiles.
+//
+// The interval for a given (counts, alpha, b, level, r) is deterministic
+// and independent of GOMAXPROCS.
 func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
-	if b <= 0 {
-		return Interval{}, fmt.Errorf("resample: need B > 0 replicates, got %d", b)
-	}
-	if !(level > 0 && level < 1) {
-		return Interval{}, fmt.Errorf("resample: level %v outside (0,1)", level)
-	}
-	total := c.Total()
-	if total <= 0 {
-		return Interval{}, fmt.Errorf("resample: empty counts")
-	}
-	n := int(math.Round(total))
-	if math.Abs(total-float64(n)) > 1e-9 {
-		return Interval{}, fmt.Errorf("resample: bootstrap requires integer counts, total is %v", total)
-	}
-	toCPT := func(counts *core.Counts) (*core.CPT, error) {
-		if alpha > 0 {
-			return counts.Smoothed(alpha, false)
-		}
-		return counts.Empirical(), nil
-	}
-	pointCPT, err := toCPT(c)
-	if err != nil {
-		return Interval{}, err
-	}
-	point, err := core.Epsilon(pointCPT)
+	return epsilonBootstrap(c, alpha, b, level, r, 0)
+}
+
+// epsilonBootstrap is EpsilonBootstrap with an explicit worker count
+// (0 = one per CPU), used by tests to pin the pool size.
+func epsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
+	n, point, err := validateBootstrap(c, alpha, b, level)
 	if err != nil {
 		return Interval{}, err
 	}
 
-	// Flatten cells for alias sampling.
+	// The original cell counts are the multinomial weights. Cells() is a
+	// live view; every replicate only reads it.
+	space := c.Space()
+	outcomes := c.Outcomes()
+	weights := c.Cells()
+
+	// One base draw from the caller's generator keeps the public contract
+	// "seeded by r"; replicate i then owns substream (base, i) so results
+	// do not depend on which worker runs it.
+	base := r.Uint64()
+
+	type scratch struct {
+		boot *core.Counts
+		cpt  *core.CPT
+		rng  *rng.RNG
+	}
+	reps := make([]float64, b)
+	err = par.DoErr(workers, b, func() *scratch {
+		return &scratch{
+			boot: core.MustCounts(space, outcomes),
+			cpt:  core.MustCPT(space, outcomes),
+			rng:  rng.New(0),
+		}
+	}, func(s *scratch, i int) error {
+		s.rng.SeedStream(base, uint64(i))
+		// One multinomial draw fills every cell of the replicate table:
+		// O(cells), allocation-free.
+		s.rng.Multinomial(s.boot.Cells(), n, weights)
+		if alpha > 0 {
+			if err := s.boot.SmoothedInto(s.cpt, alpha, false); err != nil {
+				return err
+			}
+		} else {
+			if err := s.boot.EmpiricalInto(s.cpt); err != nil {
+				return err
+			}
+		}
+		res, err := core.Epsilon(s.cpt)
+		if err != nil {
+			if errors.Is(err, core.ErrDegenerateSupport) {
+				// The resample concentrated all mass in fewer than two
+				// groups: legitimately infinite ε, not a failure.
+				reps[i] = math.Inf(1)
+				return nil
+			}
+			// Anything else is a real bug (invalid probabilities, shape
+			// mismatch) and must not be silently scored as +Inf.
+			return err
+		}
+		reps[i] = res.Epsilon
+		return nil
+	})
+	if err != nil {
+		return Interval{}, fmt.Errorf("resample: replicate failed: %w", err)
+	}
+
+	infinite := 0
+	for _, v := range reps {
+		if math.IsInf(v, 1) {
+			infinite++
+		}
+	}
+	sort.Float64s(reps)
+	lo := percentile(reps, (1-level)/2)
+	hi := percentile(reps, 1-(1-level)/2)
+	return Interval{
+		Point:         point,
+		Lo:            lo,
+		Hi:            hi,
+		Level:         level,
+		Replicates:    reps,
+		InfiniteShare: float64(infinite) / float64(b),
+	}, nil
+}
+
+// EpsilonBootstrapSerialAlias is the pre-engine reference implementation:
+// every replicate redraws all n observations one at a time from an alias
+// table, serially, allocating fresh tables per replicate. It is retained
+// as the correctness and performance baseline for the parallel multinomial
+// engine (see BenchmarkEpsilonBootstrap) and is not intended for
+// production use.
+func EpsilonBootstrapSerialAlias(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
+	n, point, err := validateBootstrap(c, alpha, b, level)
+	if err != nil {
+		return Interval{}, err
+	}
+
 	space := c.Space()
 	outcomes := c.Outcomes()
 	nOut := len(outcomes)
-	weights := make([]float64, space.Size()*nOut)
-	for g := 0; g < space.Size(); g++ {
-		for y := 0; y < nOut; y++ {
-			weights[g*nOut+y] = c.N(g, y)
-		}
-	}
-	alias := rng.NewAlias(weights)
+	alias := rng.NewAlias(c.Cells())
 
 	reps := make([]float64, 0, b)
 	infinite := 0
@@ -91,14 +167,20 @@ func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rn
 				return Interval{}, err
 			}
 		}
-		cpt, err := toCPT(boot)
-		if err != nil {
-			return Interval{}, err
+		var cpt *core.CPT
+		if alpha > 0 {
+			cpt, err = boot.Smoothed(alpha, false)
+			if err != nil {
+				return Interval{}, err
+			}
+		} else {
+			cpt = boot.Empirical()
 		}
 		res, err := core.Epsilon(cpt)
 		if err != nil {
-			// A replicate can lose all but one populated group on very
-			// sparse tables; score it as +Inf rather than failing.
+			if !errors.Is(err, core.ErrDegenerateSupport) {
+				return Interval{}, fmt.Errorf("resample: replicate failed: %w", err)
+			}
 			reps = append(reps, math.Inf(1))
 			infinite++
 			continue
@@ -109,16 +191,61 @@ func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rn
 		}
 	}
 	sort.Float64s(reps)
-	lo := percentile(reps, (1-level)/2)
-	hi := percentile(reps, 1-(1-level)/2)
 	return Interval{
-		Point:         point.Epsilon,
-		Lo:            lo,
-		Hi:            hi,
+		Point:         point,
+		Lo:            percentile(reps, (1-level)/2),
+		Hi:            percentile(reps, 1-(1-level)/2),
 		Level:         level,
 		Replicates:    reps,
 		InfiniteShare: float64(infinite) / float64(b),
 	}, nil
+}
+
+// validateBootstrap checks the arguments shared by both bootstrap
+// implementations and returns the integer observation total plus the
+// point ε of the original table.
+func validateBootstrap(c *core.Counts, alpha float64, b int, level float64) (n int, point float64, err error) {
+	if b <= 0 {
+		return 0, 0, fmt.Errorf("resample: need B > 0 replicates, got %d", b)
+	}
+	if !(level > 0 && level < 1) {
+		return 0, 0, fmt.Errorf("resample: level %v outside (0,1)", level)
+	}
+	total := c.Total()
+	if total <= 0 {
+		return 0, 0, fmt.Errorf("resample: empty counts")
+	}
+	n = int(math.Round(total))
+	if math.Abs(total-float64(n)) > 1e-9 {
+		return 0, 0, fmt.Errorf("resample: bootstrap requires integer counts, total is %v", total)
+	}
+	point, err = pointEpsilon(c, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, point, nil
+}
+
+// pointEpsilon is the ε of the original table under the selected
+// estimator.
+func pointEpsilon(c *core.Counts, alpha float64) (float64, error) {
+	var (
+		cpt *core.CPT
+		err error
+	)
+	if alpha > 0 {
+		cpt, err = c.Smoothed(alpha, false)
+	} else {
+		cpt = c.Empirical()
+	}
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Epsilon(cpt)
+	if err != nil {
+		return 0, err
+	}
+	return res.Epsilon, nil
 }
 
 func percentile(sorted []float64, q float64) float64 {

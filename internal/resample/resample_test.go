@@ -137,3 +137,84 @@ func TestPercentileEdgeCases(t *testing.T) {
 		t.Errorf("interpolated-near-inf percentile = %v", got)
 	}
 }
+
+// TestBootstrapDeterministicAcrossWorkerCounts: the engine's contract is
+// that the interval is bit-identical no matter how many workers run the
+// replicates.
+func TestBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
+	c := makeCounts(t, 400, 600, 700, 300)
+	for _, alpha := range []float64{0, 1} {
+		var intervals []Interval
+		for _, workers := range []int{1, 2, 8} {
+			iv, err := epsilonBootstrap(c, alpha, 200, 0.95, rng.New(17), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intervals = append(intervals, iv)
+		}
+		for i := 1; i < len(intervals); i++ {
+			a, b := intervals[0], intervals[i]
+			if a.Lo != b.Lo || a.Hi != b.Hi || a.Point != b.Point || a.InfiniteShare != b.InfiniteShare {
+				t.Fatalf("alpha=%v: interval differs across worker counts: %+v vs %+v", alpha, a, b)
+			}
+			for k := range a.Replicates {
+				if a.Replicates[k] != b.Replicates[k] {
+					t.Fatalf("alpha=%v: replicate %d differs across worker counts", alpha, k)
+				}
+			}
+		}
+	}
+}
+
+// TestBootstrapDegenerateReplicatesAreInfNotError: with a 2-observation
+// table many multinomial resamples concentrate all mass in one group.
+// Those replicates are legitimately +Inf; the call must succeed and
+// report them via InfiniteShare.
+func TestBootstrapDegenerateReplicatesAreInfNotError(t *testing.T) {
+	c := makeCounts(t, 1, 1, 1, 1) // four observations over four cells
+	iv, err := EpsilonBootstrap(c, 0, 400, 0.9, rng.New(5))
+	if err != nil {
+		t.Fatalf("degenerate replicates failed the call: %v", err)
+	}
+	if iv.InfiniteShare == 0 {
+		t.Fatal("expected a positive share of degenerate (+Inf) replicates")
+	}
+	// A replicate is finite only when every cell gets exactly one
+	// observation (probability 4!/4^4 ≈ 9.4%), so at B=400 finite
+	// replicates exist with overwhelming probability.
+	if iv.InfiniteShare == 1 {
+		t.Fatal("every replicate infinite; resampling looks broken")
+	}
+}
+
+// TestBootstrapMatchesSerialAliasDistribution: the multinomial engine and
+// the retained serial alias baseline draw from the same resampling
+// distribution — their interval endpoints must agree closely at high B.
+func TestBootstrapMatchesSerialAliasDistribution(t *testing.T) {
+	c := makeCounts(t, 400, 600, 700, 300)
+	fast, err := EpsilonBootstrap(c, 1, 3000, 0.9, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := EpsilonBootstrapSerialAlias(c, 1, 3000, 0.9, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Lo-slow.Lo) > 0.02 || math.Abs(fast.Hi-slow.Hi) > 0.02 {
+		t.Fatalf("engines disagree: multinomial [%v, %v] vs alias [%v, %v]",
+			fast.Lo, fast.Hi, slow.Lo, slow.Hi)
+	}
+	if fast.Point != slow.Point {
+		t.Fatalf("point estimates differ: %v vs %v", fast.Point, slow.Point)
+	}
+}
+
+func TestSerialAliasValidation(t *testing.T) {
+	c := makeCounts(t, 10, 10, 10, 10)
+	if _, err := EpsilonBootstrapSerialAlias(c, 0, 0, 0.9, rng.New(1)); err == nil {
+		t.Error("B=0 accepted")
+	}
+	if _, err := EpsilonBootstrapSerialAlias(c, 0, 10, 2, rng.New(1)); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package rng
+
+import "math"
+
+// Binomial returns a draw from Binomial(n, p): the number of successes in
+// n independent trials of probability p. It runs in O(1) expected time
+// when n·min(p,1−p) is large (the BTPE rejection sampler of
+// Kachitvichyanukul & Schmeiser, 1988) and O(n·p) expected time otherwise
+// (CDF inversion), so conditional-binomial multinomial splitting over k
+// cells costs O(k) rather than O(n) category draws. It panics on n < 0 or
+// p outside [0, 1].
+func (r *RNG) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("rng: Binomial with negative n")
+	}
+	if !(p >= 0 && p <= 1) {
+		panic("rng: Binomial with p outside [0,1]")
+	}
+	if n == 0 || p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return n
+	}
+	// Sample with success probability q = min(p, 1-p) and mirror at the
+	// end; both samplers below assume q <= 1/2.
+	q := p
+	flipped := false
+	if q > 0.5 {
+		q = 1 - q
+		flipped = true
+	}
+	var k int
+	if float64(n)*q < btpeThreshold {
+		k = r.binomialInversion(n, q)
+	} else {
+		k = r.binomialBTPE(n, q)
+	}
+	if flipped {
+		k = n - k
+	}
+	return k
+}
+
+// btpeThreshold is the n·p value above which BTPE beats inversion; 30 is
+// the cut-over used by the reference implementations (e.g. NumPy).
+const btpeThreshold = 30
+
+// binomialInversion is the BINV algorithm: walk the CDF from 0, taking
+// O(n·p) expected steps. Requires 0 < p <= 1/2. Since it is only called
+// with n·p < btpeThreshold, q^n = exp(n·log1p(−p)) ≥ exp(−2·btpeThreshold)
+// cannot underflow.
+func (r *RNG) binomialInversion(n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	for {
+		f := math.Exp(float64(n) * math.Log1p(-p)) // q^n, robust for tiny p
+		u := r.Float64()
+		x := 0
+		for u > f {
+			u -= f
+			x++
+			if x > n {
+				break // float round-off exhausted the pmf mass: redraw
+			}
+			f *= a/float64(x) - s
+		}
+		if x <= n {
+			return x
+		}
+	}
+}
+
+// binomialBTPE is the BTPE algorithm (Binomial, Triangle, Parallelogram,
+// Exponential): an O(1) expected-time rejection sampler whose envelope is
+// a triangle over the mode, two parallelogram shoulders, and exponential
+// tails. Requires 0 < p <= 1/2 and n·p >= btpeThreshold.
+func (r *RNG) binomialBTPE(n int, p float64) int {
+	var (
+		nf  = float64(n)
+		q   = 1 - p
+		npq = nf * p * q
+
+		fm = nf*p + p
+		m  = math.Floor(fm) // mode
+
+		// Envelope geometry.
+		p1 = math.Floor(2.195*math.Sqrt(npq)-4.6*q) + 0.5
+		xm = m + 0.5
+		xl = xm - p1
+		xr = xm + p1
+		c  = 0.134 + 20.5/(15.3+m)
+	)
+	a := (fm - xl) / (fm - xl*p)
+	lamL := a * (1 + a/2)
+	a = (xr - fm) / (xr * q)
+	lamR := a * (1 + a/2)
+	p2 := p1 * (1 + 2*c)
+	p3 := p2 + c/lamL
+	p4 := p3 + c/lamR
+
+	for {
+		u := r.Float64() * p4
+		v := r.Float64()
+		var y float64
+		switch {
+		case u <= p1:
+			// Triangular central region: accept immediately.
+			return int(math.Floor(xm - p1*v + u))
+		case u <= p2:
+			// Parallelogram shoulders.
+			x := xl + (u-p1)/c
+			v = v*c + 1 - math.Abs(m-x+0.5)/p1
+			if v > 1 || v <= 0 {
+				continue
+			}
+			y = math.Floor(x)
+		case u <= p3:
+			// Left exponential tail.
+			y = math.Floor(xl + math.Log(v)/lamL)
+			if y < 0 {
+				continue
+			}
+			v = v * (u - p2) * lamL
+		default:
+			// Right exponential tail.
+			y = math.Floor(xr - math.Log(v)/lamR)
+			if y > nf {
+				continue
+			}
+			v = v * (u - p3) * lamR
+		}
+
+		// Squeeze-free acceptance test for v against f(y)/f(m).
+		k := math.Abs(y - m)
+		if k <= 20 || k >= npq/2-1 {
+			// Evaluate f(y)/f(m) by the recurrence — cheap because k is
+			// small (or the tail makes rejection likely anyway).
+			s := p / q
+			aa := s * (nf + 1)
+			f := 1.0
+			switch {
+			case m < y:
+				for i := m + 1; i <= y; i++ {
+					f *= aa/i - s
+				}
+			case m > y:
+				for i := y + 1; i <= m; i++ {
+					f /= aa/i - s
+				}
+			}
+			if v <= f {
+				return int(y)
+			}
+			continue
+		}
+		// Squeeze on log scale, then the full Stirling-corrected test.
+		rho := (k / npq) * ((k*(k/3+0.625)+1.0/6)/npq + 0.5)
+		t := -k * k / (2 * npq)
+		logV := math.Log(v)
+		if logV < t-rho {
+			return int(y)
+		}
+		if logV > t+rho {
+			continue
+		}
+		x1 := y + 1
+		f1 := m + 1
+		z := nf + 1 - m
+		w := nf - y + 1
+		// ln(f(y)/f(m)) = lnΓ(f1) − lnΓ(x1) + lnΓ(z) − lnΓ(w)
+		// + (y−m)·ln(p/q); expanding each lnΓ by Stirling gives the
+		// closed terms below plus remainders φ entering with the same
+		// signs as their lnΓ — so φ(x1) and φ(w) are SUBTRACTED. (The
+		// published BTPE listing adds all four, which overestimates the
+		// bound by 2(φ(x1)+φ(w)) and over-accepts in the tails; the
+		// signed form here matches math.Lgamma to ~1e-12.)
+		if logV <= xm*math.Log(f1/x1)+
+			(nf-m+0.5)*math.Log(z/w)+
+			(y-m)*math.Log(w*p/(x1*q))+
+			stirlingCorrection(f1)+stirlingCorrection(z)-
+			stirlingCorrection(x1)-stirlingCorrection(w) {
+			return int(y)
+		}
+	}
+}
+
+// stirlingCorrection returns φ(x), the Stirling remainder of ln Γ(x):
+// lnΓ(x) = (x−1/2)·ln x − x + ln√(2π) + φ(x), with
+// φ(x) ≈ (13860 − (462 − (132 − (99 − 140/x²)/x²)/x²)/x²)/(x·166320)
+// = 1/(12x) − 1/(360x³) + 1/(1260x⁵) − 1/(1680x⁷).
+func stirlingCorrection(x float64) float64 {
+	x2 := x * x
+	return (13860 - (462-(132-(99-140/x2)/x2)/x2)/x2) / x / 166320
+}
+
+// Multinomial draws one Multinomial(n, weights) vector, writing the
+// per-cell counts into dst as whole-number float64s. The weights need not
+// be normalized; zero-weight cells always receive 0. The draw uses
+// conditional-binomial splitting — cell i receives
+// Binomial(remaining, wᵢ/Σ_{j≥i} wⱼ) — so one draw costs O(len(weights))
+// binomial samples instead of the O(n) category draws of repeated alias
+// sampling. It panics on mismatched lengths, n < 0, or weights that are
+// negative, NaN, or sum to zero.
+func (r *RNG) Multinomial(dst []float64, n int, weights []float64) {
+	if len(dst) != len(weights) || len(weights) == 0 {
+		panic("rng: Multinomial length mismatch")
+	}
+	if n < 0 {
+		panic("rng: Multinomial with negative n")
+	}
+	var total float64
+	last := -1 // last positive-weight cell, absorbs float round-off
+	for i, w := range weights {
+		if !(w >= 0) || math.IsInf(w, 0) {
+			panic("rng: Multinomial with negative, NaN or infinite weight")
+		}
+		if w > 0 {
+			last = i
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Multinomial with zero total weight")
+	}
+	remaining := n
+	wrem := total
+	for i, w := range weights {
+		if w <= 0 || remaining == 0 {
+			dst[i] = 0
+			continue
+		}
+		if i == last || w >= wrem {
+			// Final positive cell (or float drift made w the whole rest):
+			// it takes everything left, keeping Σ dst = n exact.
+			dst[i] = float64(remaining)
+			remaining = 0
+			continue
+		}
+		k := r.Binomial(remaining, w/wrem)
+		dst[i] = float64(k)
+		remaining -= k
+		wrem -= w
+	}
+}

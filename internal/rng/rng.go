@@ -36,6 +36,36 @@ type RNG struct {
 // New returns a generator seeded deterministically from seed.
 func New(seed uint64) *RNG {
 	var r RNG
+	r.seed(seed)
+	return &r
+}
+
+// NewStream returns a generator for substream `stream` of the given seed.
+// Distinct (seed, stream) pairs yield statistically independent sequences,
+// so parallel workers can each own stream i of a shared seed and produce
+// output that is bit-identical regardless of how work is scheduled. Note
+// NewStream(seed, 0) is a different sequence from New(seed).
+func NewStream(seed, stream uint64) *RNG {
+	var r RNG
+	r.SeedStream(seed, stream)
+	return &r
+}
+
+// SeedStream re-seeds the generator in place to substream `stream` of
+// seed, discarding all existing state (including any cached normal
+// deviate). It allows a long-lived worker-local generator to be re-pointed
+// at per-task substreams without allocating.
+func (r *RNG) SeedStream(seed, stream uint64) {
+	// Hash the stream id through splitmix64 before mixing it into the
+	// seed: a linear combination like seed + stream·C would make adjacent
+	// streams share shifted splitmix states (correlated xoshiro init
+	// words), whereas the hash decorrelates them nonlinearly.
+	h := stream
+	r.seed(seed ^ splitmix64(&h))
+}
+
+// seed (re)initializes all state from a single 64-bit value.
+func (r *RNG) seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -45,7 +75,8 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return &r
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -15,16 +15,26 @@ import (
 
 // Monitor maintains decayed outcome counts per intersectional group and
 // reports ε on demand.
+//
+// A Monitor is not safe for concurrent use: Observe mutates the counts
+// and Epsilon reuses internal snapshot buffers, so all calls must come
+// from one goroutine (or be externally synchronized).
 type Monitor struct {
 	space    *core.Space
 	outcomes []string
-	// counts are stored pre-scaled: cell values are multiplied by the
-	// running weight so a single add is O(1); Snapshot divides by weight.
-	counts [][]float64
+	// counts are stored pre-scaled in one group-major strided slice
+	// (cell (g, y) at counts[g·|Y|+y], mirroring core.Counts): cell
+	// values are multiplied by the running weight so a single add is
+	// O(1); Snapshot divides by weight.
+	counts []float64
 	weight float64
 	decay  float64
 	seen   int
 	alpha  float64
+	// snap and cpt are lazily-built reusable buffers for Epsilon, so the
+	// per-report path allocates nothing in the steady state.
+	snap *core.Counts
+	cpt  *core.CPT
 }
 
 // NewMonitor creates a monitor. halfLife is the number of observations
@@ -43,14 +53,10 @@ func NewMonitor(space *core.Space, outcomes []string, halfLife float64, alpha fl
 	if alpha < 0 {
 		return nil, fmt.Errorf("stream: negative alpha %v", alpha)
 	}
-	counts := make([][]float64, space.Size())
-	for i := range counts {
-		counts[i] = make([]float64, len(outcomes))
-	}
 	return &Monitor{
 		space:    space,
 		outcomes: append([]string(nil), outcomes...),
-		counts:   counts,
+		counts:   make([]float64, space.Size()*len(outcomes)),
 		weight:   1,
 		decay:    math.Exp2(-1 / halfLife),
 		alpha:    alpha,
@@ -70,7 +76,7 @@ func (m *Monitor) Observe(group, outcome int) error {
 	// Observe O(1): current value of one unit is weight/decay^0; older
 	// units were added with smaller weights.
 	m.weight /= m.decay
-	m.counts[group][outcome] += m.weight
+	m.counts[group*len(m.outcomes)+outcome] += m.weight
 	m.seen++
 	if m.weight > 1e12 {
 		m.renormalize()
@@ -82,10 +88,8 @@ func (m *Monitor) Observe(group, outcome int) error {
 // preserving all ratios.
 func (m *Monitor) renormalize() {
 	inv := 1 / m.weight
-	for g := range m.counts {
-		for y := range m.counts[g] {
-			m.counts[g][y] *= inv
-		}
+	for i := range m.counts {
+		m.counts[i] *= inv
 	}
 	m.weight = 1
 }
@@ -97,49 +101,60 @@ func (m *Monitor) Seen() int { return m.seen }
 // half-life's equivalent window size 1/(1−decay).
 func (m *Monitor) EffectiveCount() float64 {
 	var sum float64
-	for g := range m.counts {
-		for _, v := range m.counts[g] {
-			sum += v
-		}
+	for _, v := range m.counts {
+		sum += v
 	}
 	return sum / m.weight
 }
 
+// snapshotInto fills dst's cells with the decayed counts in one strided
+// pass.
+func (m *Monitor) snapshotInto(dst *core.Counts) {
+	cells := dst.Cells()
+	inv := 1 / m.weight
+	for i, v := range m.counts {
+		cells[i] = v * inv
+	}
+}
+
 // Snapshot returns the decayed counts as a core.Counts for arbitrary
-// downstream analysis.
+// downstream analysis. The result is caller-owned (never the internal
+// reporting buffer).
 func (m *Monitor) Snapshot() (*core.Counts, error) {
 	out, err := core.NewCounts(m.space, m.outcomes)
 	if err != nil {
 		return nil, err
 	}
-	for g := range m.counts {
-		for y, v := range m.counts[g] {
-			if v > 0 {
-				if err := out.Add(g, y, v/m.weight); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
+	m.snapshotInto(out)
 	return out, nil
 }
 
-// Epsilon reports the current decayed ε estimate.
+// Epsilon reports the current decayed ε estimate. It reuses internal
+// snapshot and CPT buffers, so repeated reports (e.g. one per observation
+// in Watch.ObserveChecked) do not allocate in the steady state.
 func (m *Monitor) Epsilon() (core.EpsilonResult, error) {
-	snap, err := m.Snapshot()
-	if err != nil {
-		return core.EpsilonResult{}, err
-	}
-	var cpt *core.CPT
-	if m.alpha > 0 {
-		cpt, err = snap.Smoothed(m.alpha, false)
+	if m.snap == nil {
+		snap, err := core.NewCounts(m.space, m.outcomes)
 		if err != nil {
 			return core.EpsilonResult{}, err
 		}
-	} else {
-		cpt = snap.Empirical()
+		cpt, err := core.NewCPT(m.space, m.outcomes)
+		if err != nil {
+			return core.EpsilonResult{}, err
+		}
+		m.snap, m.cpt = snap, cpt
 	}
-	return core.Epsilon(cpt)
+	m.snapshotInto(m.snap)
+	if m.alpha > 0 {
+		if err := m.snap.SmoothedInto(m.cpt, m.alpha, false); err != nil {
+			return core.EpsilonResult{}, err
+		}
+	} else {
+		if err := m.snap.EmpiricalInto(m.cpt); err != nil {
+			return core.EpsilonResult{}, err
+		}
+	}
+	return core.Epsilon(m.cpt)
 }
 
 // Alert describes a threshold crossing.

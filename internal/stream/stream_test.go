@@ -230,3 +230,62 @@ func TestNewWatchValidation(t *testing.T) {
 		t.Error("negative minEffective accepted")
 	}
 }
+
+// TestEpsilonSteadyStateAllocFree: after the first report builds the
+// reusable buffers, Epsilon must not allocate.
+func TestEpsilonSteadyStateAllocFree(t *testing.T) {
+	m, err := NewMonitor(twoGroupSpace(t), []string{"x", "y"}, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := m.Observe(i%2, i%2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Observe(i%2, 1-i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Epsilon(); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := m.Epsilon(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Epsilon allocates %v per report, want 0", allocs)
+	}
+}
+
+// TestSnapshotIsCallerOwned: mutating a returned snapshot must not leak
+// into the monitor's internal reporting buffers.
+func TestSnapshotIsCallerOwned(t *testing.T) {
+	m, err := NewMonitor(twoGroupSpace(t), []string{"x", "y"}, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Observe(i%2, i%2)
+		m.Observe(i%2, 1-i%2)
+	}
+	before, err := m.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Cells() {
+		snap.Cells()[i] = 999
+	}
+	after, err := m.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Epsilon != after.Epsilon {
+		t.Fatal("snapshot mutation leaked into the monitor")
+	}
+}
