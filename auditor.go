@@ -1,0 +1,463 @@
+package fairness
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bayes"
+	"repro/internal/core"
+	"repro/internal/repair"
+	"repro/internal/resample"
+	"repro/internal/rng"
+)
+
+// auditConfig is the resolved option set of an Auditor. Options validate
+// their arguments at construction time, so a successfully built Auditor
+// never fails on configuration during Run.
+type auditConfig struct {
+	alpha          float64
+	subsets        bool
+	simpson        bool
+	bootstrapB     int
+	bootstrapLevel float64
+	credibleB      int
+	credibleAlpha  float64
+	credibleLevel  float64
+	repairTarget   float64
+	seed           uint64
+	workers        int
+	eqOdds         *core.LabeledCounts
+}
+
+// Option configures an Auditor. Options are applied in order by
+// NewAuditor and report invalid arguments immediately (the descriptive
+// error surfaces from NewAuditor, not from deep inside a Run).
+type Option func(*auditConfig) error
+
+// WithAlpha selects the estimator: 0 for the empirical Eq. 6 estimator,
+// alpha > 0 for the Dirichlet-smoothed Eq. 7 estimator.
+func WithAlpha(alpha float64) Option {
+	return func(c *auditConfig) error {
+		if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return fmt.Errorf("fairness: WithAlpha(%v): alpha must be finite and >= 0", alpha)
+		}
+		c.alpha = alpha
+		return nil
+	}
+}
+
+// WithSubsets controls whether every nonempty subset of the protected
+// attributes is audited (the paper's Table 2 ladder; the default) or
+// only the full intersection.
+func WithSubsets(on bool) Option {
+	return func(c *auditConfig) error { c.subsets = on; return nil }
+}
+
+// WithSimpsonScan controls Simpson's-paradox reversal scanning. The scan
+// applies only to two-attribute spaces and is on by default.
+func WithSimpsonScan(on bool) Option {
+	return func(c *auditConfig) error { c.simpson = on; return nil }
+}
+
+// WithBootstrap requests a percentile bootstrap confidence interval for
+// the full-intersection ε with b replicates at the given confidence
+// level. b must be positive and level strictly inside (0, 1) — an
+// out-of-range level is rejected here rather than producing nonsense
+// quantiles downstream.
+func WithBootstrap(b int, level float64) Option {
+	return func(c *auditConfig) error {
+		if b <= 0 {
+			return fmt.Errorf("fairness: WithBootstrap(%d, %v): need at least one replicate", b, level)
+		}
+		if !(level > 0 && level < 1) {
+			return fmt.Errorf("fairness: WithBootstrap(%d, %v): confidence level must be in (0,1)", b, level)
+		}
+		c.bootstrapB = b
+		c.bootstrapLevel = level
+		return nil
+	}
+}
+
+// WithCredible requests a Bayesian credible interval for ε from b
+// posterior samples of the Dirichlet-multinomial model with symmetric
+// prior pseudo-count priorAlpha > 0, at the given credible level in
+// (0, 1).
+func WithCredible(b int, priorAlpha, level float64) Option {
+	return func(c *auditConfig) error {
+		if b <= 0 {
+			return fmt.Errorf("fairness: WithCredible(%d, %v, %v): need at least one sample", b, priorAlpha, level)
+		}
+		if !(priorAlpha > 0) || math.IsInf(priorAlpha, 0) {
+			return fmt.Errorf("fairness: WithCredible(%d, %v, %v): prior alpha must be positive and finite", b, priorAlpha, level)
+		}
+		if !(level > 0 && level < 1) {
+			return fmt.Errorf("fairness: WithCredible(%d, %v, %v): credible level must be in (0,1)", b, priorAlpha, level)
+		}
+		c.credibleB = b
+		c.credibleAlpha = priorAlpha
+		c.credibleLevel = level
+		return nil
+	}
+}
+
+// WithRepairTarget requests a minimal-movement repair plan to the target
+// ε > 0. The plan is only produced for binary outcomes; on other
+// outcome counts the section is omitted.
+func WithRepairTarget(eps float64) Option {
+	return func(c *auditConfig) error {
+		if !(eps > 0) || math.IsInf(eps, 0) {
+			return fmt.Errorf("fairness: WithRepairTarget(%v): target epsilon must be positive and finite", eps)
+		}
+		c.repairTarget = eps
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving bootstrap resampling and posterior
+// sampling. Reports are deterministic in (inputs, options, seed)
+// regardless of GOMAXPROCS. The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(c *auditConfig) error { c.seed = seed; return nil }
+}
+
+// WithWorkers caps the worker-pool size used by the bootstrap and
+// posterior fan-outs; 0 (the default) means one worker per CPU. A
+// service handling concurrent audits can use this to bound each
+// request's share of the machine.
+func WithWorkers(n int) Option {
+	return func(c *auditConfig) error {
+		if n < 0 {
+			return fmt.Errorf("fairness: WithWorkers(%d): worker count must be >= 0", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithEqualizedOdds adds the equalized-odds analogue of DF (§7.1) over
+// the given labeled counts to the report: the per-true-label-stratum ε
+// and its maximum, under the auditor's estimator alpha. The labeled
+// counts must share the auditor's protected space and outcome labels.
+// The counts are deep-copied, preserving the Auditor's immutability: a
+// caller that keeps mutating lc afterwards does not affect (or race
+// with) later Run calls.
+func WithEqualizedOdds(lc *LabeledCounts) Option {
+	return func(c *auditConfig) error {
+		if lc == nil {
+			return fmt.Errorf("fairness: WithEqualizedOdds(nil)")
+		}
+		c.eqOdds = lc.Clone()
+		return nil
+	}
+}
+
+// Auditor is the front door of the package: a reusable, concurrency-safe
+// audit pipeline bound to one protected-attribute space and outcome
+// vocabulary. Build it once with NewAuditor and call Run per dataset —
+// every analysis the options request (ε ladder, witnesses,
+// interpretation, bootstrap and credible intervals, Simpson reversals,
+// repair plan, equalized odds) lands in a single versioned Report.
+//
+// An Auditor is immutable after construction; concurrent Run calls are
+// safe and each gets its own scratch state.
+type Auditor struct {
+	space    *core.Space
+	outcomes []string
+	cfg      auditConfig
+}
+
+// NewAuditor builds an auditor over the given protected space and
+// outcome labels. Option arguments are validated here: the first invalid
+// option aborts construction with a descriptive error.
+func NewAuditor(space *Space, outcomes []string, opts ...Option) (*Auditor, error) {
+	if space == nil {
+		return nil, fmt.Errorf("fairness: NewAuditor: nil space")
+	}
+	if len(outcomes) < 2 {
+		return nil, fmt.Errorf("fairness: NewAuditor: need at least two outcomes, got %d", len(outcomes))
+	}
+	cfg := auditConfig{
+		subsets: true,
+		simpson: true,
+		seed:    1,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("fairness: NewAuditor: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if lc := cfg.eqOdds; lc != nil {
+		if !sameAttrs(space, lc.Space()) || !sameStrings(outcomes, lc.Outcomes()) {
+			return nil, fmt.Errorf("fairness: WithEqualizedOdds: labeled counts do not match the auditor's space/outcomes")
+		}
+	}
+	return &Auditor{
+		space:    space,
+		outcomes: append([]string(nil), outcomes...),
+		cfg:      cfg,
+	}, nil
+}
+
+// MustAuditor is NewAuditor but panics on error; for tests and literals.
+func MustAuditor(space *Space, outcomes []string, opts ...Option) *Auditor {
+	a, err := NewAuditor(space, outcomes, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Run audits one contingency table and returns the complete report. The
+// counts must be over the auditor's space and outcomes. ctx is threaded
+// through the parallel bootstrap/posterior engines: canceling it makes
+// an in-flight Run return promptly with ctx.Err().
+func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if counts == nil {
+		return nil, fmt.Errorf("fairness: Auditor.Run: nil counts")
+	}
+	if !sameAttrs(a.space, counts.Space()) || !sameStrings(a.outcomes, counts.Outcomes()) {
+		return nil, fmt.Errorf("fairness: Auditor.Run: counts do not match the auditor's space/outcomes")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cfg := a.cfg
+	toCPT := func(c *core.Counts) (*core.CPT, error) {
+		if cfg.alpha > 0 {
+			return c.Smoothed(cfg.alpha, false)
+		}
+		return c.Empirical(), nil
+	}
+	estimator := "empirical (Eq. 6)"
+	if cfg.alpha > 0 {
+		estimator = fmt.Sprintf("Dirichlet-smoothed, alpha=%g (Eq. 7)", cfg.alpha)
+	}
+	// Marginalization preserves outcome labels, so one copy serves every
+	// ladder row (Counts.Outcomes copies on each call).
+	outcomes := counts.Outcomes()
+	space := counts.Space()
+
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Estimator:     estimator,
+		Alpha:         cfg.alpha,
+		Observations:  counts.Total(),
+	}
+
+	fullCPT, err := toCPT(counts)
+	if err != nil {
+		return nil, err
+	}
+	full, err := core.Epsilon(fullCPT)
+	if err != nil {
+		return nil, err
+	}
+	rep.Epsilon = JSONFloat(full.Epsilon)
+	rep.Finite = full.Finite
+	rep.Witness = witnessLabels(space, outcomes, full.Witness)
+	interp := core.Interpret(full.Epsilon)
+	rep.Interpretation = ReportInterpretation{
+		MaxUtilityFactor:               JSONFloat(interp.MaxUtilityFactor),
+		HighFairnessRegime:             interp.HighFairnessRegime,
+		StrongerThanRandomizedResponse: interp.StrongerThanRandomizedResponse,
+	}
+	rep.SubsetBound = JSONFloat(core.SubsetBound(full))
+
+	if cfg.subsets {
+		// The subset ladder shares marginalization work along the lattice
+		// (each subset's counts derived from a one-attribute-larger
+		// parent) instead of re-aggregating the full table 2^p times.
+		subs, err := core.EpsilonSubsetsCounts(counts, cfg.alpha)
+		if err != nil {
+			return nil, err
+		}
+		core.SortSubsetsByEpsilon(subs)
+		for _, s := range subs {
+			rep.Ladder = append(rep.Ladder, LadderRow{
+				Attrs:   s.Attrs,
+				Epsilon: JSONFloat(s.Result.Epsilon),
+				Finite:  s.Result.Finite,
+				Witness: witnessLabels(s.Space, outcomes, s.Result.Witness),
+			})
+		}
+	} else {
+		rep.Ladder = append(rep.Ladder, LadderRow{
+			Attrs:   attrNames(space),
+			Epsilon: JSONFloat(full.Epsilon),
+			Finite:  full.Finite,
+			Witness: rep.Witness,
+		})
+	}
+
+	if cfg.bootstrapB > 0 {
+		iv, err := resample.EpsilonBootstrapCtx(ctx, counts, cfg.alpha,
+			cfg.bootstrapB, cfg.bootstrapLevel, rng.New(cfg.seed), cfg.workers)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("fairness: bootstrap: %w", err)
+		}
+		rep.Bootstrap = &BootstrapReport{
+			Replicates:    cfg.bootstrapB,
+			Level:         iv.Level,
+			Lo:            JSONFloat(iv.Lo),
+			Hi:            JSONFloat(iv.Hi),
+			InfiniteShare: iv.InfiniteShare,
+		}
+	}
+
+	if cfg.credibleB > 0 {
+		model, err := bayes.NewDirichletMultinomial(counts, cfg.credibleAlpha)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: credible: %w", err)
+		}
+		post, err := model.EpsilonCredibleCtx(ctx, cfg.credibleB,
+			cfg.credibleLevel, rng.New(cfg.seed), cfg.workers)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("fairness: credible: %w", err)
+		}
+		rep.Credible = &CredibleReport{
+			Samples:    cfg.credibleB,
+			PriorAlpha: cfg.credibleAlpha,
+			Level:      post.Level,
+			Mean:       JSONFloat(post.Mean),
+			Median:     JSONFloat(post.Median),
+			Lo:         JSONFloat(post.Lo),
+			Hi:         JSONFloat(post.Hi),
+			Sup:        JSONFloat(post.Sup),
+		}
+	}
+
+	if cfg.simpson && space.NumAttrs() == 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for y := range outcomes {
+			revs, err := core.DetectSimpsonReversals(counts, y)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range revs {
+				rep.Reversals = append(rep.Reversals, ReversalReport{
+					Attr:          r.Attr,
+					Conditioned:   r.Conditioned,
+					ValueHi:       r.ValueHi,
+					ValueLo:       r.ValueLo,
+					Outcome:       outcomes[y],
+					AggregateDiff: r.AggregateDiff,
+					StratumDiffs:  r.StratumDiffs,
+				})
+			}
+		}
+	}
+
+	if cfg.repairTarget > 0 && len(outcomes) == 2 {
+		plan, err := repair.Binary(fullCPT, cfg.repairTarget)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: repair: %w", err)
+		}
+		rr := &RepairReport{
+			TargetEpsilon: plan.TargetEpsilon,
+			Lo:            plan.Lo,
+			Hi:            plan.Hi,
+			Movement:      plan.Movement,
+		}
+		for _, gp := range plan.Groups {
+			rr.Groups = append(rr.Groups, RepairGroupReport{
+				Group:        space.Label(gp.Group),
+				OldRate:      gp.OldRate,
+				NewRate:      gp.NewRate,
+				FlipPosToNeg: gp.FlipPosToNeg,
+				FlipNegToPos: gp.FlipNegToPos,
+			})
+		}
+		rep.Repair = rr
+	}
+
+	if cfg.eqOdds != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eo, err := core.EqualizedOddsEpsilon(cfg.eqOdds, cfg.alpha)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: equalized odds: %w", err)
+		}
+		eor := &EqualizedOddsReport{
+			Epsilon: JSONFloat(eo.Epsilon),
+			Finite:  eo.Finite,
+		}
+		for _, s := range eo.PerLabel {
+			eor.PerLabel = append(eor.PerLabel, StratumReport{
+				Label:   s.Label,
+				Epsilon: JSONFloat(s.Result.Epsilon),
+				Finite:  s.Result.Finite,
+			})
+		}
+		rep.EqualizedOdds = eor
+	}
+
+	return rep, nil
+}
+
+// witnessLabels resolves a witness's indices against its space and the
+// shared outcome labels.
+func witnessLabels(space *core.Space, outcomes []string, w core.Witness) ReportWitness {
+	return ReportWitness{
+		Outcome:      outcomes[w.Outcome],
+		MostFavored:  space.Label(w.GroupHi),
+		LeastFavored: space.Label(w.GroupLo),
+	}
+}
+
+func attrNames(space *core.Space) []string {
+	attrs := space.Attrs()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// sameAttrs reports whether two spaces have identical attribute names
+// and value vocabularies in the same order (pointer identity is not
+// required, so deserialized or independently-built spaces compare
+// equal).
+func sameAttrs(a, b *core.Space) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.NumAttrs() != b.NumAttrs() {
+		return false
+	}
+	aa, ba := a.Attrs(), b.Attrs()
+	for i := range aa {
+		if aa[i].Name != ba[i].Name || !sameStrings(aa[i].Values, ba[i].Values) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

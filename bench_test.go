@@ -7,13 +7,18 @@ package fairness_test
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"testing"
+
+	fairness "repro"
 
 	"repro/internal/bayes"
 	"repro/internal/census"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/mechanism"
@@ -566,6 +571,77 @@ func BenchmarkDistBatchDensityGrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, pdf := dist.DensityGrid(d, 4, 16, 4096); len(pdf) != 4096 {
 			b.Fatal("bad grid")
+		}
+	}
+}
+
+// BenchmarkAuditor measures the end-to-end audit latency at census scale
+// (32,561 observations over the paper's gender × race × nationality
+// space): the full ε ladder, bootstrap interval, credible interval and
+// interpretation in one Auditor.Run — the request path of cmd/dfserve.
+// scripts/bench_audit.sh tracks this as BENCH_audit.json across PRs.
+func BenchmarkAuditor(b *testing.B) {
+	train, _, err := census.Generate(census.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		opts []fairness.Option
+	}{
+		{"ladder-only", []fairness.Option{
+			fairness.WithSeed(1),
+		}},
+		{"bootstrap500", []fairness.Option{
+			fairness.WithBootstrap(500, 0.95),
+			fairness.WithSeed(1),
+		}},
+		{"full-uncertainty", []fairness.Option{
+			fairness.WithBootstrap(500, 0.95),
+			fairness.WithCredible(500, 1, 0.95),
+			fairness.WithSeed(1),
+		}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(), bench.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := auditor.Run(context.Background(), counts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReportRenderJSON isolates the serialization cost of the
+// stable JSON schema from the analysis itself.
+func BenchmarkReportRenderJSON(b *testing.B) {
+	counts := datasets.Admissions()
+	auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(),
+		fairness.WithBootstrap(200, 0.95),
+		fairness.WithRepairTarget(0.5),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.RenderJSON(io.Discard); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

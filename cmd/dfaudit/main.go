@@ -9,10 +9,16 @@
 //
 //	dfaudit -data people.csv -protected gender,race -outcome income
 //	dfaudit -dataset admissions -bootstrap 500 -repair 0.5
+//	dfaudit -dataset admissions -credible 500 -format json
 //	censusgen | dfaudit -data /dev/stdin -protected gender,race,nationality -outcome income -alpha 1
+//
+// -format json emits the versioned JSON report schema (see
+// fairness.Report); for the same inputs, options and seed the bytes are
+// identical to what cmd/dfserve's POST /v1/audit returns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,7 +26,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/audit"
+	fairness "repro"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -44,11 +50,18 @@ func run(args []string, out io.Writer) error {
 	alpha := fs.Float64("alpha", 0, "Dirichlet smoothing pseudo-count (0 = empirical Eq. 6)")
 	subsets := fs.Bool("subsets", true, "audit every subset of the protected attributes")
 	bootstrap := fs.Int("bootstrap", 0, "bootstrap replicates for a confidence interval (0 = off)")
-	level := fs.Float64("level", 0.95, "bootstrap confidence level")
+	credible := fs.Int("credible", 0, "posterior samples for a Bayesian credible interval (0 = off)")
+	priorAlpha := fs.Float64("prior-alpha", 1, "Dirichlet prior pseudo-count for -credible")
+	level := fs.Float64("level", 0.95, "confidence/credible level for -bootstrap and -credible")
 	repairTo := fs.Float64("repair", 0, "propose a repair to this target eps (binary outcomes; 0 = off)")
-	seed := fs.Uint64("seed", 1, "bootstrap seed")
+	seed := fs.Uint64("seed", 1, "resampling seed")
+	simpson := fs.Bool("simpson", true, "scan two-attribute tables for Simpson reversals")
+	format := fs.String("format", "text", "report format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
 	}
 
 	var counts *core.Counts
@@ -94,18 +107,33 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("one of -data, -adult or -dataset is required")
 	}
 
-	report, err := audit.Run(counts, audit.Options{
-		Alpha:          *alpha,
-		Subsets:        *subsets,
-		Bootstrap:      *bootstrap,
-		BootstrapLevel: *level,
-		RepairTarget:   *repairTo,
-		Seed:           *seed,
-	})
+	opts := []fairness.Option{
+		fairness.WithAlpha(*alpha),
+		fairness.WithSubsets(*subsets),
+		fairness.WithSimpsonScan(*simpson),
+		fairness.WithSeed(*seed),
+	}
+	if *bootstrap > 0 {
+		opts = append(opts, fairness.WithBootstrap(*bootstrap, *level))
+	}
+	if *credible > 0 {
+		opts = append(opts, fairness.WithCredible(*credible, *priorAlpha, *level))
+	}
+	if *repairTo > 0 {
+		opts = append(opts, fairness.WithRepairTarget(*repairTo))
+	}
+	auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(), opts...)
 	if err != nil {
 		return err
 	}
-	return report.Render(out)
+	report, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		return report.RenderJSON(out)
+	}
+	return report.RenderText(out)
 }
 
 // countsFromFrame builds the contingency table from categorical columns.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,5 +87,75 @@ func TestRunRejectsSingleValuedOutcome(t *testing.T) {
 	err := run([]string{"-data", path, "-protected", "g", "-outcome", "decision"}, &buf)
 	if err == nil {
 		t.Error("single-valued outcome accepted")
+	}
+}
+
+// goldenArgs is the fixed-seed audit rendered by the golden-file tests.
+// cmd/dfserve's tests POST the equivalent request and require its
+// response to be byte-identical to admissions.json.
+var goldenArgs = []string{
+	"-dataset", "admissions",
+	"-bootstrap", "100",
+	"-credible", "100",
+	"-repair", "0.5",
+	"-seed", "1",
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenReports(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		file   string
+	}{
+		{"text", "admissions.txt"},
+		{"json", "admissions.json"},
+	} {
+		t.Run(tc.format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(append(goldenArgs, "-format", tc.format), &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with go test ./cmd/dfaudit -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output diverged from golden file %s:\n%s", tc.format, path, buf.String())
+			}
+		})
+	}
+}
+
+func TestGoldenJSONIsStableSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append(goldenArgs, "-format", "json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if int(m["schema_version"].(float64)) != 1 {
+		t.Errorf("schema_version = %v", m["schema_version"])
+	}
+	for _, key := range []string{"ladder", "bootstrap", "credible", "repair", "witness"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("golden JSON missing %q", key)
+		}
+	}
+}
+
+func TestFormatValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dataset", "admissions", "-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

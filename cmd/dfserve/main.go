@@ -1,0 +1,305 @@
+// Command dfserve exposes the differential-fairness auditor as an HTTP
+// service — the "auditing as a service" deployment of the paper's §5
+// case study. Clients POST a protected-attribute space plus either raw
+// observations or a pre-aggregated contingency table and receive the
+// versioned JSON report (fairness.Report) that cmd/dfaudit -format json
+// prints for the same inputs, options and seed — byte-identical.
+//
+// Endpoints:
+//
+//	POST /v1/audit  — audit one dataset (JSON in, Report JSON out)
+//	GET  /healthz   — liveness probe
+//
+// Each request gets its own Auditor over the shared worker-pool engine;
+// requests are handled concurrently and the request context is threaded
+// through the bootstrap/posterior fan-outs, so a disconnected or
+// timed-out client cancels its in-flight resampling promptly.
+//
+// Usage:
+//
+//	dfserve -addr :8080 -workers 4
+//	curl -s localhost:8080/v1/audit -d '{
+//	  "space": [{"name": "gender", "values": ["F", "M"]}],
+//	  "outcomes": ["deny", "approve"],
+//	  "counts": [[80, 20], [40, 60]],
+//	  "options": {"bootstrap": {"replicates": 500, "level": 0.95}}
+//	}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	fairness "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool cap per request (0 = one per CPU)")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
+	maxResamples := flag.Int("max-resamples", 100_000, "maximum bootstrap replicates / posterior samples per request")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(serverConfig{workers: *workers, maxBody: *maxBody, maxResamples: *maxResamples}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("dfserve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dfserve:", err)
+		os.Exit(1)
+	}
+}
+
+type serverConfig struct {
+	workers int
+	maxBody int64
+	// maxResamples bounds client-requested bootstrap replicates and
+	// posterior samples: each replicate slot is allocated up front, so an
+	// unbounded request could OOM the server with a 60-byte body.
+	maxResamples int
+}
+
+// newMux builds the service's routes; split from main for httptest use.
+func newMux(cfg serverConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		handleAudit(w, r, cfg)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// auditRequest is the POST /v1/audit body: the protected space, the
+// outcome vocabulary, exactly one of counts/observations, and options
+// mirroring the fairness.Option surface.
+type auditRequest struct {
+	// Space lists the protected attributes in order; group indices and
+	// the counts matrix enumerate their Cartesian product row-major with
+	// the last attribute varying fastest.
+	Space    []attrSpec `json:"space"`
+	Outcomes []string   `json:"outcomes"`
+	// Counts is a pre-aggregated contingency table: one row per
+	// intersectional group, one column per outcome.
+	Counts [][]float64 `json:"counts,omitempty"`
+	// Observations is the raw alternative: one decision per entry.
+	Observations []observation `json:"observations,omitempty"`
+	Options      auditOptions  `json:"options"`
+}
+
+type attrSpec struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type observation struct {
+	// Group maps attribute name to value, e.g. {"gender": "F"}.
+	Group map[string]string `json:"group"`
+	// Outcome is one of the request's outcome labels.
+	Outcome string `json:"outcome"`
+}
+
+type auditOptions struct {
+	Alpha        float64        `json:"alpha"`
+	Subsets      *bool          `json:"subsets,omitempty"`
+	Simpson      *bool          `json:"simpson,omitempty"`
+	Bootstrap    *bootstrapSpec `json:"bootstrap,omitempty"`
+	Credible     *credibleSpec  `json:"credible,omitempty"`
+	RepairTarget float64        `json:"repair_target"`
+	Seed         *uint64        `json:"seed,omitempty"`
+}
+
+type bootstrapSpec struct {
+	Replicates int `json:"replicates"`
+	// Level defaults to 0.95 when omitted; pointer so an explicit
+	// invalid 0 is rejected rather than silently defaulted.
+	Level *float64 `json:"level,omitempty"`
+}
+
+type credibleSpec struct {
+	Samples int `json:"samples"`
+	// PriorAlpha defaults to 1 when omitted.
+	PriorAlpha *float64 `json:"prior_alpha,omitempty"`
+	// Level defaults to 0.95 when omitted.
+	Level *float64 `json:"level,omitempty"`
+}
+
+func handleAudit(w http.ResponseWriter, r *http.Request, cfg serverConfig) {
+	var req auditRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+
+	counts, err := req.buildCounts()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Options.checkLimits(cfg.maxResamples); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(), req.Options.toOptions(cfg.workers)...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	report, err := auditor.Run(r.Context(), counts)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			// Client went away; 499 mirrors nginx's "client closed
+			// request" and mostly serves logs/tests — nobody is reading.
+			writeError(w, 499, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := report.RenderJSON(w); err != nil {
+		log.Printf("dfserve: writing report: %v", err)
+	}
+}
+
+// buildCounts materializes the request's contingency table.
+func (req *auditRequest) buildCounts() (*core.Counts, error) {
+	if len(req.Space) == 0 {
+		return nil, fmt.Errorf("space: need at least one protected attribute")
+	}
+	attrs := make([]core.Attr, len(req.Space))
+	for i, a := range req.Space {
+		attrs[i] = core.Attr{Name: a.Name, Values: a.Values}
+	}
+	space, err := core.NewSpace(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := core.NewCounts(space, req.Outcomes)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(req.Counts) > 0 && len(req.Observations) > 0:
+		return nil, fmt.Errorf("provide counts or observations, not both")
+	case len(req.Counts) > 0:
+		if len(req.Counts) != space.Size() {
+			return nil, fmt.Errorf("counts: got %d group rows, space has %d groups", len(req.Counts), space.Size())
+		}
+		for g, row := range req.Counts {
+			if len(row) != len(req.Outcomes) {
+				return nil, fmt.Errorf("counts: group %d has %d cells, want %d outcomes", g, len(row), len(req.Outcomes))
+			}
+			for y, v := range row {
+				if v == 0 {
+					continue
+				}
+				if err := counts.Add(g, y, v); err != nil {
+					return nil, fmt.Errorf("counts: group %d outcome %d: %w", g, y, err)
+				}
+			}
+		}
+	case len(req.Observations) > 0:
+		outIndex := make(map[string]int, len(req.Outcomes))
+		for i, o := range req.Outcomes {
+			outIndex[o] = i
+		}
+		for i, obs := range req.Observations {
+			g, err := space.IndexByValues(obs.Group)
+			if err != nil {
+				return nil, fmt.Errorf("observations[%d]: %w", i, err)
+			}
+			y, ok := outIndex[obs.Outcome]
+			if !ok {
+				return nil, fmt.Errorf("observations[%d]: unknown outcome %q", i, obs.Outcome)
+			}
+			if err := counts.Observe(g, y); err != nil {
+				return nil, fmt.Errorf("observations[%d]: %w", i, err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("one of counts or observations is required")
+	}
+	return counts, nil
+}
+
+// checkLimits enforces the server's resource ceiling on the
+// client-controlled fan-out sizes (each replicate/sample slot is
+// allocated up front).
+func (o *auditOptions) checkLimits(maxResamples int) error {
+	if maxResamples <= 0 {
+		return nil
+	}
+	if b := o.Bootstrap; b != nil && b.Replicates > maxResamples {
+		return fmt.Errorf("bootstrap.replicates %d exceeds this server's limit of %d", b.Replicates, maxResamples)
+	}
+	if c := o.Credible; c != nil && c.Samples > maxResamples {
+		return fmt.Errorf("credible.samples %d exceeds this server's limit of %d", c.Samples, maxResamples)
+	}
+	return nil
+}
+
+// toOptions lowers the request options onto the fairness.Option surface,
+// filling the documented defaults for omitted interval parameters.
+// Argument validation happens in NewAuditor.
+func (o *auditOptions) toOptions(workers int) []fairness.Option {
+	opts := []fairness.Option{
+		fairness.WithAlpha(o.Alpha),
+		fairness.WithWorkers(workers),
+	}
+	if o.Subsets != nil {
+		opts = append(opts, fairness.WithSubsets(*o.Subsets))
+	}
+	if o.Simpson != nil {
+		opts = append(opts, fairness.WithSimpsonScan(*o.Simpson))
+	}
+	if o.Seed != nil {
+		opts = append(opts, fairness.WithSeed(*o.Seed))
+	}
+	if b := o.Bootstrap; b != nil {
+		level := 0.95
+		if b.Level != nil {
+			level = *b.Level
+		}
+		opts = append(opts, fairness.WithBootstrap(b.Replicates, level))
+	}
+	if c := o.Credible; c != nil {
+		level := 0.95
+		if c.Level != nil {
+			level = *c.Level
+		}
+		prior := 1.0
+		if c.PriorAlpha != nil {
+			prior = *c.PriorAlpha
+		}
+		opts = append(opts, fairness.WithCredible(c.Samples, prior, level))
+	}
+	if o.RepairTarget != 0 {
+		opts = append(opts, fairness.WithRepairTarget(o.RepairTarget))
+	}
+	return opts
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newMux(serverConfig{workers: 0, maxBody: 32 << 20}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// admissionsRequest mirrors cmd/dfaudit's golden audit (-dataset
+// admissions -bootstrap 100 -credible 100 -repair 0.5 -seed 1) as a
+// counts-form service request.
+func admissionsRequest(t *testing.T) []byte {
+	t.Helper()
+	counts := datasets.Admissions()
+	space := counts.Space()
+	rows := make([][]float64, space.Size())
+	for g := range rows {
+		row := make([]float64, counts.NumOutcomes())
+		for y := range row {
+			row[y] = counts.N(g, y)
+		}
+		rows[g] = row
+	}
+	var attrs []attrSpec
+	for _, a := range space.Attrs() {
+		attrs = append(attrs, attrSpec{Name: a.Name, Values: a.Values})
+	}
+	seed := uint64(1)
+	level := 0.95
+	prior := 1.0
+	body, err := json.Marshal(auditRequest{
+		Space:    attrs,
+		Outcomes: counts.Outcomes(),
+		Counts:   rows,
+		Options: auditOptions{
+			Bootstrap:    &bootstrapSpec{Replicates: 100, Level: &level},
+			Credible:     &credibleSpec{Samples: 100, PriorAlpha: &prior, Level: &level},
+			RepairTarget: 0.5,
+			Seed:         &seed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), `"ok"`) {
+		t.Errorf("body = %s", b)
+	}
+}
+
+// TestAuditRoundTripMatchesDfauditGolden: the service must return
+// byte-identical JSON to cmd/dfaudit -format json for the same inputs,
+// options and seed — the two front ends share one report pipeline.
+func TestAuditRoundTripMatchesDfauditGolden(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/audit", "application/json",
+		bytes.NewReader(admissionsRequest(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "dfaudit", "testdata", "admissions.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/dfaudit -update)", err)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("service JSON diverged from dfaudit golden:\n%s", body)
+	}
+}
+
+func TestAuditObservationsForm(t *testing.T) {
+	srv := testServer(t)
+	req := map[string]any{
+		"space":    []map[string]any{{"name": "gender", "values": []string{"F", "M"}}},
+		"outcomes": []string{"deny", "approve"},
+		"observations": []map[string]any{
+			{"group": map[string]string{"gender": "F"}, "outcome": "deny"},
+			{"group": map[string]string{"gender": "F"}, "outcome": "deny"},
+			{"group": map[string]string{"gender": "F"}, "outcome": "approve"},
+			{"group": map[string]string{"gender": "M"}, "outcome": "deny"},
+			{"group": map[string]string{"gender": "M"}, "outcome": "approve"},
+			{"group": map[string]string{"gender": "M"}, "outcome": "approve"},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/audit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["observations"].(float64) != 6 {
+		t.Errorf("observations = %v", rep["observations"])
+	}
+	// P(approve|M)/P(approve|F) = (2/3)/(1/3): eps = ln 2.
+	if eps := rep["epsilon"].(float64); eps < 0.69 || eps > 0.70 {
+		t.Errorf("epsilon = %v, want ln 2", eps)
+	}
+}
+
+func TestAuditBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed JSON", `{`},
+		{"unknown field", `{"bogus": 1}`},
+		{"empty space", `{"space": [], "outcomes": ["a", "b"], "counts": [[1, 2]]}`},
+		{"no data", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"]}`},
+		{"both forms", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]],
+			"observations": [{"group": {"g": "a"}, "outcome": "x"}]}`},
+		{"wrong row count", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"], "counts": [[1, 2]]}`},
+		{"wrong column count", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"], "counts": [[1], [2]]}`},
+		{"unknown outcome", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"observations": [{"group": {"g": "a"}, "outcome": "zzz"}]}`},
+		{"unknown attr value", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"observations": [{"group": {"g": "q"}, "outcome": "x"}]}`},
+		{"bootstrap level out of range", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"bootstrap": {"replicates": 10, "level": 95}}}`},
+		{"explicit zero level", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"bootstrap": {"replicates": 10, "level": 0}}}`},
+		{"explicit zero prior alpha", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"credible": {"samples": 10, "prior_alpha": 0}}}`},
+		{"negative alpha", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"alpha": -1}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/audit", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want 400: %s", resp.StatusCode, b)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e["error"] == "" {
+				t.Error("error body missing")
+			}
+		})
+	}
+}
+
+// TestAuditCancellation: a client that disconnects mid-bootstrap cancels
+// the request context, and the in-flight audit stops promptly instead of
+// finishing a multi-second resampling job for nobody.
+func TestAuditCancellation(t *testing.T) {
+	srv := testServer(t)
+	counts := datasets.Admissions()
+	space := counts.Space()
+	rows := make([][]float64, space.Size())
+	for g := range rows {
+		row := make([]float64, counts.NumOutcomes())
+		for y := range row {
+			row[y] = counts.N(g, y)
+		}
+		rows[g] = row
+	}
+	var attrs []attrSpec
+	for _, a := range space.Attrs() {
+		attrs = append(attrs, attrSpec{Name: a.Name, Values: a.Values})
+	}
+	body, err := json.Marshal(auditRequest{
+		Space:    attrs,
+		Outcomes: counts.Outcomes(),
+		Counts:   rows,
+		Options: auditOptions{
+			// Far more replicates than can finish before the cancel.
+			Bootstrap: &bootstrapSpec{Replicates: 5_000_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v1/audit", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("canceled request took %v, want prompt return", elapsed)
+	}
+}
+
+// TestConcurrentAudits: per-request auditors over the shared engine must
+// serve parallel clients with deterministic, identical results.
+func TestConcurrentAudits(t *testing.T) {
+	srv := testServer(t)
+	body := admissionsRequest(t)
+	const clients = 8
+	results := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/audit", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d: %s", resp.StatusCode, b)
+				return
+			}
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("client %d got a different report", i)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/audit status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMaxResamplesLimit(t *testing.T) {
+	srv := httptest.NewServer(newMux(serverConfig{workers: 0, maxBody: 32 << 20, maxResamples: 1000}))
+	defer srv.Close()
+	for _, body := range []string{
+		`{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"bootstrap": {"replicates": 2000000000}}}`,
+		`{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[1, 2], [3, 4]], "options": {"credible": {"samples": 100000000}}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/audit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("oversized fan-out status = %d, want 400: %s", resp.StatusCode, b)
+		}
+		if !strings.Contains(string(b), "limit") {
+			t.Errorf("error does not mention the limit: %s", b)
+		}
+	}
+	// At or under the cap still works.
+	resp, err := http.Post(srv.URL+"/v1/audit", "application/json", strings.NewReader(
+		`{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"counts": [[10, 20], [30, 40]], "options": {"bootstrap": {"replicates": 1000}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("at-limit request status = %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestMaxBodyLimit(t *testing.T) {
+	srv := httptest.NewServer(newMux(serverConfig{workers: 0, maxBody: 64}))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/audit", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"space": [{"name": %q, "values": ["a", "b"]}]}`,
+			strings.Repeat("x", 200))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}

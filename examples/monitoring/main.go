@@ -1,19 +1,23 @@
 // Monitoring demonstrates continuous fairness measurement of a deployed
 // decision system — the paper's "critiquing deployed systems" use case —
-// with an exponentially-decayed ε estimate and threshold alerting. A
-// simulated lending service starts fair, silently regresses after a
-// model update, and the monitor catches the drift.
+// with an exponentially-decayed ε estimate, threshold alerting, and a
+// full audit report snapshotted from the live monitor through the public
+// fairness.Monitor front door. A simulated lending service starts fair,
+// silently regresses after a model update, and the monitor catches the
+// drift; the closing Monitor.Audit(ctx) turns the decayed table into the
+// same versioned report cmd/dfserve serves over HTTP.
 //
 //	go run ./examples/monitoring
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	fairness "repro"
 	"repro/internal/rng"
-	"repro/internal/stream"
 )
 
 func main() {
@@ -21,11 +25,12 @@ func main() {
 		fairness.Attr{Name: "gender", Values: []string{"M", "F"}},
 		fairness.Attr{Name: "race", Values: []string{"A", "B"}},
 	)
-	monitor, err := stream.NewMonitor(space, []string{"deny", "approve"}, 2000, 1)
+	outcomes := []string{"deny", "approve"}
+	monitor, err := fairness.NewMonitor(space, outcomes, 2000, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	watch, err := stream.NewWatch(monitor, 1.0, 1000)
+	watch, err := fairness.NewWatch(monitor, 1.0, 1000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,18 +73,31 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if alert != nil {
-			fmt.Printf("  ALERT after %d post-deploy decisions: eps = %.3f > %.1f\n",
-				i+1, alert.Epsilon, alert.Threshold)
-			fmt.Printf("  witness: %q favors %s over %s\n",
-				"approve",
-				space.Label(alert.Witness.GroupHi),
-				space.Label(alert.Witness.GroupLo))
-			fmt.Println("\nreading: the decayed estimator weights recent decisions, so the")
-			fmt.Println("regression surfaces in thousands of decisions instead of being")
-			fmt.Println("diluted by the long fair history a batch estimate would average over.")
-			return
+		if alert == nil {
+			continue
 		}
+		fmt.Printf("  ALERT after %d post-deploy decisions: eps = %.3f > %.1f\n",
+			i+1, alert.Epsilon, alert.Threshold)
+		fmt.Printf("  witness: %q favors %s over %s\n",
+			outcomes[alert.Witness.Outcome],
+			space.Label(alert.Witness.GroupHi),
+			space.Label(alert.Witness.GroupLo))
+		fmt.Println("\nreading: the decayed estimator weights recent decisions, so the")
+		fmt.Println("regression surfaces in thousands of decisions instead of being")
+		fmt.Println("diluted by the long fair history a batch estimate would average over.")
+
+		// Snapshot the live monitor into a full audit report — the same
+		// versioned JSON a watchdog would pull from dfserve's /v1/audit.
+		fmt.Println("\nsnapshot audit of the decayed table (posterior uncertainty):")
+		report, err := monitor.Audit(context.Background(),
+			fairness.WithCredible(500, 1, 0.95))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.RenderText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	log.Fatal("monitor failed to detect the regression")
 }

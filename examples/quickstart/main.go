@@ -5,9 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	fairness "repro"
 )
@@ -82,4 +84,24 @@ func main() {
 	fmt.Printf("\nadversary's odds of 'white man' vs 'white woman' after seeing an approval:\n")
 	fmt.Printf("  prior %.2f -> posterior %.2f (bounded by e^eps = %.2f)\n",
 		priorOdds, postOdds, math.Exp(eps.Epsilon))
+
+	// 7. Or do all of the above in one call: the Auditor is the package's
+	// front door, producing the same versioned report that cmd/dfaudit
+	// prints and cmd/dfserve serves over HTTP (RenderJSON for the stable
+	// JSON schema).
+	auditor, err := fairness.NewAuditor(space, []string{"deny", "approve"},
+		fairness.WithBootstrap(500, 0.95),
+		fairness.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfull audit report:")
+	if err := report.RenderText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -13,6 +13,25 @@
 //	// ... counts.Observe(group, outcome) over your data ...
 //	eps := fairness.MustEpsilon(counts.Empirical())
 //
+// The front door for complete audits is the Auditor: one configured
+// pipeline producing a versioned Report (ε ladder, witnesses,
+// interpretation, bootstrap/credible uncertainty, Simpson reversals,
+// repair plan) with stable JSON rendering:
+//
+//	auditor, err := fairness.NewAuditor(space, outcomes,
+//		fairness.WithBootstrap(500, 0.95),
+//		fairness.WithCredible(500, 1, 0.95),
+//	)
+//	report, err := auditor.Run(ctx, counts)
+//	report.RenderJSON(os.Stdout) // or RenderText
+//
+// ctx is threaded through the parallel resampling engines, so in-flight
+// audits cancel cleanly. cmd/dfaudit renders the same report on the
+// command line and cmd/dfserve serves it over HTTP (POST /v1/audit);
+// for identical inputs, options and seed all three produce byte-identical
+// JSON. For deployed systems, Monitor maintains a decayed ε estimate in
+// O(1) per decision and snapshots into the same report via Monitor.Audit.
+//
 // The core concepts:
 //
 //   - Space: the Cartesian product of protected attributes (Definition

@@ -17,6 +17,7 @@
 package bayes
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -157,10 +158,21 @@ type EpsilonPosterior struct {
 // steady-state loop is allocation-free. Results are deterministic for a
 // fixed r regardless of GOMAXPROCS.
 func (m *DirichletMultinomial) EpsilonCredible(n int, level float64, r *rng.RNG) (EpsilonPosterior, error) {
-	return m.epsilonCredible(n, level, r, 0)
+	return m.epsilonCredible(context.Background(), n, level, r, 0)
 }
 
-func (m *DirichletMultinomial) epsilonCredible(n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
+// EpsilonCredibleCtx is EpsilonCredible with cooperative cancellation and
+// an explicit worker count (0 = one per CPU): when ctx is canceled
+// mid-run the workers stop claiming samples and the call returns
+// ctx.Err() promptly instead of a summary.
+func (m *DirichletMultinomial) EpsilonCredibleCtx(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
+	return m.epsilonCredible(ctx, n, level, r, workers)
+}
+
+func (m *DirichletMultinomial) epsilonCredible(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !(level > 0 && level < 1) {
 		return EpsilonPosterior{}, fmt.Errorf("bayes: credible level %v outside (0,1)", level)
 	}
@@ -179,7 +191,7 @@ func (m *DirichletMultinomial) epsilonCredible(n int, level float64, r *rng.RNG,
 		cpt   *core.CPT
 	}
 	eps := make([]float64, n)
-	err := par.DoErr(workers, n, func() *scratch {
+	err := par.DoCtx(ctx, workers, n, func() *scratch {
 		return &scratch{
 			rng:   rng.New(0),
 			probs: make([]float64, k),
@@ -198,6 +210,9 @@ func (m *DirichletMultinomial) epsilonCredible(n int, level float64, r *rng.RNG,
 		return nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return EpsilonPosterior{}, ctx.Err()
+		}
 		return EpsilonPosterior{}, err
 	}
 

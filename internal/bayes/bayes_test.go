@@ -1,6 +1,7 @@
 package bayes
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -187,7 +188,7 @@ func TestPosteriorDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, _ := NewDirichletMultinomial(c, 1)
 	var results []EpsilonPosterior
 	for _, workers := range []int{1, 2, 8} {
-		p, err := m.epsilonCredible(200, 0.9, rng.New(31), workers)
+		p, err := m.epsilonCredible(context.Background(), 200, 0.9, rng.New(31), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,5 +254,28 @@ func TestEpsilonCredibleMatchesSamplePosterior(t *testing.T) {
 		if want[i] != p.Samples[i] {
 			t.Fatalf("sample %d: credible path %v, materialized path %v", i, p.Samples[i], want[i])
 		}
+	}
+}
+
+func TestEpsilonCredibleCtxCanceled(t *testing.T) {
+	m, err := NewDirichletMultinomial(demoCounts(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.EpsilonCredibleCtx(ctx, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	a, err := m.EpsilonCredibleCtx(context.Background(), 50, 0.9, rng.New(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EpsilonCredible(50, 0.9, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi || a.Mean != b.Mean {
+		t.Errorf("ctx variant diverged")
 	}
 }

@@ -105,6 +105,20 @@ func (c *LabeledCounts) Stratum(label int) (*Counts, error) {
 	return out, nil
 }
 
+// Clone returns a deep copy.
+func (c *LabeledCounts) Clone() *LabeledCounts {
+	out, err := NewLabeledCounts(c.space, c.labels, c.outcomes)
+	if err != nil {
+		panic(err) // c was already validated at its own construction
+	}
+	for g := range c.n {
+		for l := range c.n[g] {
+			copy(out.n[g][l], c.n[g][l])
+		}
+	}
+	return out
+}
+
 // Marginal collapses the true labels, recovering the plain outcome
 // Counts (the input to ordinary DF).
 func (c *LabeledCounts) Marginal() *Counts {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -246,14 +247,18 @@ func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
 	return out, nil
 }
 
-// SortSubsetsByEpsilon orders subset results by increasing ε (ties by
-// key), the presentation order of the paper's Table 2.
+// SortSubsetsByEpsilon orders subset results by increasing ε, the
+// presentation order of the paper's Table 2. Ties (including ties at
+// +Inf) break on the attribute subset in lexicographic slice order, so
+// the ladder is a deterministic function of the input regardless of the
+// order subsets were enumerated in — a requirement for golden-file tests
+// and byte-stable report rendering.
 func SortSubsetsByEpsilon(subs []SubsetEpsilon) {
 	sort.SliceStable(subs, func(i, j int) bool {
 		if subs[i].Result.Epsilon != subs[j].Result.Epsilon {
 			return subs[i].Result.Epsilon < subs[j].Result.Epsilon
 		}
-		return subs[i].Key() < subs[j].Key()
+		return slices.Compare(subs[i].Attrs, subs[j].Attrs) < 0
 	})
 }
 

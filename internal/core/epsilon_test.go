@@ -269,6 +269,46 @@ func TestSortSubsetsByEpsilon(t *testing.T) {
 	}
 }
 
+// TestSortSubsetsByEpsilonTieBreak: equal ε values (including equal +Inf)
+// order by the attribute subset in lexicographic slice order, so the
+// ladder is a deterministic function of its contents regardless of the
+// enumeration order the subsets arrived in.
+func TestSortSubsetsByEpsilonTieBreak(t *testing.T) {
+	inf := math.Inf(1)
+	subs := []SubsetEpsilon{
+		{Attrs: []string{"race"}, Result: EpsilonResult{Epsilon: inf}},
+		{Attrs: []string{"gender", "race"}, Result: EpsilonResult{Epsilon: 1}},
+		{Attrs: []string{"gender"}, Result: EpsilonResult{Epsilon: 1}},
+		{Attrs: []string{"nationality"}, Result: EpsilonResult{Epsilon: inf}},
+		{Attrs: []string{"gender", "nationality"}, Result: EpsilonResult{Epsilon: 1}},
+	}
+	// Shuffle-insensitive: sort twice from two different starting orders.
+	SortSubsetsByEpsilon(subs)
+	got := make([]string, len(subs))
+	for i, s := range subs {
+		got[i] = s.Key()
+	}
+	want := []string{"gender", "gender,nationality", "gender,race", "nationality", "race"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", got, want)
+		}
+	}
+	// Proper slice-lexicographic comparison: {"a"} sorts before {"a","b"}
+	// which sorts before {"ab"} (prefix before extension before longer
+	// first element), unlike comparing the comma-joined keys.
+	subs = []SubsetEpsilon{
+		{Attrs: []string{"ab"}, Result: EpsilonResult{Epsilon: 1}},
+		{Attrs: []string{"a", "b"}, Result: EpsilonResult{Epsilon: 1}},
+		{Attrs: []string{"a"}, Result: EpsilonResult{Epsilon: 1}},
+	}
+	SortSubsetsByEpsilon(subs)
+	if subs[0].Key() != "a" || subs[1].Key() != "a,b" || subs[2].Key() != "ab" {
+		t.Fatalf("slice-lexicographic tie-break violated: %v %v %v",
+			subs[0].Key(), subs[1].Key(), subs[2].Key())
+	}
+}
+
 func TestBiasAmplification(t *testing.T) {
 	alg := EpsilonResult{Epsilon: 2.65}
 	data := EpsilonResult{Epsilon: 2.06}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,13 +73,38 @@ func Do[S any](workers, n int, newState func() S, task func(state S, i int)) {
 // of the lowest-indexed failed task is returned — the same error no
 // matter how tasks were scheduled — or nil if all succeeded.
 func DoErr[S any](workers, n int, newState func() S, task func(state S, i int) error) error {
+	return DoCtx(context.Background(), workers, n, newState, task)
+}
+
+// DoCtx is DoErr with cooperative cancellation: workers stop claiming
+// new tasks as soon as ctx is done, and the call returns ctx.Err().
+// Cancellation is checked between tasks, not inside them, so the latency
+// of a cancel is bounded by one task's duration per worker. When ctx is
+// never canceled the behavior (and the slot-determinism guarantee) is
+// identical to DoErr.
+func DoCtx[S any](ctx context.Context, workers, n int, newState func() S, task func(state S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	errs := make([]error, n)
+	done := ctx.Done()
 	Do(workers, n, newState, func(s S, i int) {
-		errs[i] = task(s, i)
+		select {
+		case <-done:
+			errs[i] = ctx.Err()
+		default:
+			errs[i] = task(s, i)
+		}
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -80,5 +81,60 @@ func TestDoErrReturnsLowestIndexedError(t *testing.T) {
 	}
 	if err := DoErr(4, 0, func() struct{} { return struct{}{} }, func(struct{}, int) error { return fmt.Errorf("x") }); err != nil {
 		t.Fatalf("n=0 returned %v", err)
+	}
+}
+
+func TestDoCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := DoCtx(ctx, 0, 100, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d tasks ran on a pre-canceled context", ran)
+	}
+}
+
+func TestDoCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100000
+	ran := int32(0)
+	err := DoCtx(ctx, 2, n, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is checked between tasks, so only a bounded number of
+	// tasks after the cancel may still run — nowhere near all of them.
+	if int(atomic.LoadInt32(&ran)) == n {
+		t.Error("every task ran despite mid-run cancellation")
+	}
+}
+
+func TestDoCtxBackgroundMatchesDoErr(t *testing.T) {
+	hits := make([]int32, 500)
+	err := DoCtx(context.Background(), 4, len(hits), func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		if i == 123 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 123" {
+		t.Fatalf("err = %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
 	}
 }

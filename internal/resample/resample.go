@@ -14,6 +14,7 @@
 package resample
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,12 +52,23 @@ type Interval struct {
 // The interval for a given (counts, alpha, b, level, r) is deterministic
 // and independent of GOMAXPROCS.
 func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
-	return epsilonBootstrap(c, alpha, b, level, r, 0)
+	return epsilonBootstrap(context.Background(), c, alpha, b, level, r, 0)
 }
 
-// epsilonBootstrap is EpsilonBootstrap with an explicit worker count
-// (0 = one per CPU), used by tests to pin the pool size.
-func epsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
+// EpsilonBootstrapCtx is EpsilonBootstrap with cooperative cancellation
+// and an explicit worker count (0 = one per CPU): when ctx is canceled
+// mid-run the workers stop claiming replicates and the call returns
+// ctx.Err() promptly instead of an interval.
+func EpsilonBootstrapCtx(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
+	return epsilonBootstrap(ctx, c, alpha, b, level, r, workers)
+}
+
+// epsilonBootstrap is EpsilonBootstrap with an explicit context and
+// worker count (0 = one per CPU), used by tests to pin the pool size.
+func epsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n, point, err := validateBootstrap(c, alpha, b, level)
 	if err != nil {
 		return Interval{}, err
@@ -79,7 +91,7 @@ func epsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rn
 		rng  *rng.RNG
 	}
 	reps := make([]float64, b)
-	err = par.DoErr(workers, b, func() *scratch {
+	err = par.DoCtx(ctx, workers, b, func() *scratch {
 		return &scratch{
 			boot: core.MustCounts(space, outcomes),
 			cpt:  core.MustCPT(space, outcomes),
@@ -115,6 +127,9 @@ func epsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rn
 		return nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return Interval{}, ctx.Err()
+		}
 		return Interval{}, fmt.Errorf("resample: replicate failed: %w", err)
 	}
 

@@ -1,6 +1,7 @@
 package resample
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, alpha := range []float64{0, 1} {
 		var intervals []Interval
 		for _, workers := range []int{1, 2, 8} {
-			iv, err := epsilonBootstrap(c, alpha, 200, 0.95, rng.New(17), workers)
+			iv, err := epsilonBootstrap(context.Background(), c, alpha, 200, 0.95, rng.New(17), workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -216,5 +217,26 @@ func TestSerialAliasValidation(t *testing.T) {
 	}
 	if _, err := EpsilonBootstrapSerialAlias(c, 0, 10, 2, rng.New(1)); err == nil {
 		t.Error("bad level accepted")
+	}
+}
+
+func TestEpsilonBootstrapCtxCanceled(t *testing.T) {
+	c := makeCounts(t, 400, 600, 700, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EpsilonBootstrapCtx(ctx, c, 0, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A background context behaves exactly like EpsilonBootstrap.
+	a, err := EpsilonBootstrapCtx(context.Background(), c, 0, 50, 0.95, rng.New(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EpsilonBootstrap(c, 0, 50, 0.95, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Errorf("ctx variant diverged: [%v,%v] vs [%v,%v]", a.Lo, a.Hi, b.Lo, b.Hi)
 	}
 }

@@ -1,0 +1,110 @@
+package fairness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Monitor is the public face of the streaming fairness monitor: an
+// exponentially-decayed contingency table whose ε estimate tracks a
+// deployed system's recent decisions (the paper's "critiquing deployed
+// systems" use case, §1). Observe records decisions in O(1); Epsilon
+// reports the decayed estimate without allocating in the steady state;
+// Audit snapshots the decayed table and runs the full Auditor pipeline
+// over it.
+//
+// A Monitor is not safe for concurrent use: all calls must come from one
+// goroutine or be externally synchronized.
+type Monitor struct {
+	inner    *stream.Monitor
+	space    *Space
+	outcomes []string
+	alpha    float64
+}
+
+// NewMonitor creates a streaming monitor. halfLife is the number of
+// observations after which an old observation's influence is halved
+// (must be > 0); alpha is the Eq. 7 smoothing applied when reporting ε
+// (0 = empirical), and doubles as the default estimator for Audit.
+func NewMonitor(space *Space, outcomes []string, halfLife, alpha float64) (*Monitor, error) {
+	inner, err := stream.NewMonitor(space, outcomes, halfLife, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		inner:    inner,
+		space:    space,
+		outcomes: append([]string(nil), outcomes...),
+		alpha:    alpha,
+	}, nil
+}
+
+// Observe records one decision; each prior observation's effective count
+// decays by the configured half-life.
+func (m *Monitor) Observe(group, outcome int) error { return m.inner.Observe(group, outcome) }
+
+// Seen returns the number of observations so far.
+func (m *Monitor) Seen() int { return m.inner.Seen() }
+
+// EffectiveCount returns the decayed total mass (bounded above by the
+// half-life's equivalent window size).
+func (m *Monitor) EffectiveCount() float64 { return m.inner.EffectiveCount() }
+
+// Epsilon reports the current decayed ε estimate.
+func (m *Monitor) Epsilon() (EpsilonResult, error) { return m.inner.Epsilon() }
+
+// Snapshot returns the decayed counts as a caller-owned Counts.
+func (m *Monitor) Snapshot() (*Counts, error) { return m.inner.Snapshot() }
+
+// Alert describes a threshold crossing reported by a Watch.
+type Alert = stream.Alert
+
+// Watch wraps a Monitor with a threshold: ObserveChecked returns a
+// non-nil Alert whenever the running ε estimate exceeds the threshold
+// and at least minEffective decayed mass has accumulated (avoiding
+// cold-start noise). The embedded Monitor remains fully usable,
+// including Audit.
+type Watch struct {
+	*Monitor
+	inner *stream.Watch
+}
+
+// NewWatch builds a threshold watch around a monitor. threshold must be
+// positive and minEffective non-negative.
+func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
+	if m == nil {
+		return nil, fmt.Errorf("fairness: NewWatch: nil monitor")
+	}
+	inner, err := stream.NewWatch(m.inner, threshold, minEffective)
+	if err != nil {
+		return nil, err
+	}
+	return &Watch{Monitor: m, inner: inner}, nil
+}
+
+// ObserveChecked records a decision and evaluates the threshold.
+func (w *Watch) ObserveChecked(group, outcome int) (*Alert, error) {
+	return w.inner.ObserveChecked(group, outcome)
+}
+
+// Audit snapshots the decayed counts and runs the full audit pipeline
+// over them, producing the same versioned Report as Auditor.Run. The
+// monitor's smoothing alpha is applied by default; additional options
+// are appended and may override it.
+//
+// Decayed counts are non-integral, so WithBootstrap is not applicable to
+// a monitor snapshot (the bootstrap requires integer counts and will
+// reject it); use WithCredible for uncertainty over streaming estimates.
+func (m *Monitor) Audit(ctx context.Context, opts ...Option) (*Report, error) {
+	snap, err := m.inner.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fairness: Monitor.Audit: %w", err)
+	}
+	auditor, err := NewAuditor(m.space, m.outcomes, append([]Option{WithAlpha(m.alpha)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	return auditor.Run(ctx, snap)
+}

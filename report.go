@@ -1,0 +1,298 @@
+package fairness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// ReportSchemaVersion identifies the JSON report schema. It is embedded
+// in every marshaled Report as "schema_version" and only increments on
+// breaking changes (renamed/removed keys or changed value semantics);
+// additive fields do not bump it. Consumers should reject versions they
+// do not understand.
+const ReportSchemaVersion = 1
+
+// JSONFloat is a float64 whose JSON form survives the non-finite values
+// ε analysis legitimately produces (a zero probability against a
+// positive one yields ε = +Inf). Finite values marshal as plain JSON
+// numbers; +Inf, -Inf and NaN marshal as the strings "inf", "-inf" and
+// "nan", and unmarshal back from either form.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a JSON number or
+// one of the sentinel strings "inf", "-inf", "nan".
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	switch s {
+	case `"inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	case `"nan"`:
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("fairness: invalid JSONFloat %s", s)
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// ReportWitness names the outcome and the most/least favored
+// intersectional groups achieving a measured ε (human-readable labels,
+// not indices).
+type ReportWitness struct {
+	Outcome      string `json:"outcome"`
+	MostFavored  string `json:"most_favored"`
+	LeastFavored string `json:"least_favored"`
+}
+
+// ReportInterpretation is the §3.3 reading of the full-intersection ε.
+type ReportInterpretation struct {
+	// MaxUtilityFactor is e^ε, the worst-case multiplicative disparity in
+	// expected utility between two groups (Eq. 5).
+	MaxUtilityFactor JSONFloat `json:"max_utility_factor"`
+	// HighFairnessRegime is true when ε < 1.
+	HighFairnessRegime bool `json:"high_fairness_regime"`
+	// StrongerThanRandomizedResponse is true when ε < ln 3.
+	StrongerThanRandomizedResponse bool `json:"stronger_than_randomized_response"`
+}
+
+// LadderRow is one row of the per-subset ε ladder (the paper's Table 2
+// analysis), sorted by increasing ε with lexicographic attribute-subset
+// tie-breaking.
+type LadderRow struct {
+	Attrs   []string      `json:"attrs"`
+	Epsilon JSONFloat     `json:"epsilon"`
+	Finite  bool          `json:"finite"`
+	Witness ReportWitness `json:"witness"`
+}
+
+// BootstrapReport summarizes the percentile bootstrap interval for the
+// full-intersection ε.
+type BootstrapReport struct {
+	Replicates int       `json:"replicates"`
+	Level      float64   `json:"level"`
+	Lo         JSONFloat `json:"lo"`
+	Hi         JSONFloat `json:"hi"`
+	// InfiniteShare is the fraction of replicates with infinite ε — a
+	// sparsity diagnostic suggesting Eq. 7 smoothing.
+	InfiniteShare float64 `json:"infinite_share"`
+}
+
+// CredibleReport summarizes the Dirichlet-multinomial posterior of ε.
+type CredibleReport struct {
+	Samples    int       `json:"samples"`
+	PriorAlpha float64   `json:"prior_alpha"`
+	Level      float64   `json:"level"`
+	Mean       JSONFloat `json:"mean"`
+	Median     JSONFloat `json:"median"`
+	Lo         JSONFloat `json:"lo"`
+	Hi         JSONFloat `json:"hi"`
+	// Sup is the supremum over posterior samples: ε of the sampled
+	// credible set read as a framework Θ (Definition 3.1).
+	Sup JSONFloat `json:"sup"`
+}
+
+// ReversalReport describes one detected Simpson's-paradox reversal.
+type ReversalReport struct {
+	Attr          string    `json:"attr"`
+	Conditioned   string    `json:"conditioned"`
+	ValueHi       string    `json:"value_hi"`
+	ValueLo       string    `json:"value_lo"`
+	Outcome       string    `json:"outcome"`
+	AggregateDiff float64   `json:"aggregate_diff"`
+	StratumDiffs  []float64 `json:"stratum_diffs"`
+}
+
+// RepairGroupReport is the repair prescription for one group.
+type RepairGroupReport struct {
+	Group        string  `json:"group"`
+	OldRate      float64 `json:"old_rate"`
+	NewRate      float64 `json:"new_rate"`
+	FlipPosToNeg float64 `json:"flip_pos_to_neg"`
+	FlipNegToPos float64 `json:"flip_neg_to_pos"`
+}
+
+// RepairReport is the minimal-movement repair plan to a target ε.
+type RepairReport struct {
+	TargetEpsilon float64 `json:"target_epsilon"`
+	// Lo and Hi bound the repaired positive rates.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Movement is the expected fraction of decisions changed.
+	Movement float64             `json:"movement"`
+	Groups   []RepairGroupReport `json:"groups"`
+}
+
+// StratumReport is ε within one true-label stratum of the
+// equalized-odds analysis.
+type StratumReport struct {
+	Label   string    `json:"label"`
+	Epsilon JSONFloat `json:"epsilon"`
+	Finite  bool      `json:"finite"`
+}
+
+// EqualizedOddsReport is the equalized-odds analogue of DF (§7.1): the
+// per-stratum ε values and their maximum.
+type EqualizedOddsReport struct {
+	Epsilon  JSONFloat       `json:"epsilon"`
+	Finite   bool            `json:"finite"`
+	PerLabel []StratumReport `json:"per_label"`
+}
+
+// Report is the complete result of one Auditor.Run: the ε ladder,
+// witnesses, interpretation, uncertainty (bootstrap and/or credible),
+// Simpson reversals, repair plan and equalized-odds analysis the options
+// requested.
+//
+// Its JSON form is a stable versioned schema (ReportSchemaVersion):
+// field order follows the struct, optional sections are omitted when
+// not requested, and non-finite ε values are encoded via JSONFloat.
+// Identical inputs, options and seed produce byte-identical RenderJSON
+// output regardless of GOMAXPROCS — cmd/dfaudit and cmd/dfserve share
+// this property.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+	// Estimator names the estimator in prose ("empirical (Eq. 6)" or the
+	// Dirichlet-smoothed variant); Alpha is its pseudo-count.
+	Estimator    string  `json:"estimator"`
+	Alpha        float64 `json:"alpha"`
+	Observations float64 `json:"observations"`
+	// Epsilon is the full-intersection differential fairness.
+	Epsilon        JSONFloat            `json:"epsilon"`
+	Finite         bool                 `json:"finite"`
+	Witness        ReportWitness        `json:"witness"`
+	Interpretation ReportInterpretation `json:"interpretation"`
+	// SubsetBound is Theorem 3.2's 2ε guarantee for every subset.
+	SubsetBound   JSONFloat            `json:"subset_bound"`
+	Ladder        []LadderRow          `json:"ladder"`
+	Bootstrap     *BootstrapReport     `json:"bootstrap,omitempty"`
+	Credible      *CredibleReport      `json:"credible,omitempty"`
+	Reversals     []ReversalReport     `json:"reversals,omitempty"`
+	Repair        *RepairReport        `json:"repair,omitempty"`
+	EqualizedOdds *EqualizedOddsReport `json:"equalized_odds,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, pinning schema_version to
+// ReportSchemaVersion so a zero-valued or hand-built Report still
+// declares its schema.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type plain Report // drop methods to avoid recursion
+	p := plain(*r)
+	p.SchemaVersion = ReportSchemaVersion
+	return json.Marshal(&p)
+}
+
+// RenderJSON writes the report as indented JSON (the stable schema) with
+// a trailing newline. Output is byte-identical for identical reports.
+func (r *Report) RenderJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// RenderText writes the human-readable report.
+func (r *Report) RenderText(w io.Writer) error {
+	fmt.Fprintf(w, "dfaudit: %d observations, estimator: %s\n\n", int(r.Observations), r.Estimator)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protected attributes\teps\twitness outcome\tmost favored\tleast favored")
+	for _, row := range r.Ladder {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			strings.Join(row.Attrs, ","), fmtEps(float64(row.Epsilon)),
+			row.Witness.Outcome, row.Witness.MostFavored, row.Witness.LeastFavored)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\ninterpretation (paper section 3.3):\n")
+	fmt.Fprintf(w, "  worst-case expected-utility disparity: %.2fx (e^eps)\n", float64(r.Interpretation.MaxUtilityFactor))
+	fmt.Fprintf(w, "  high-fairness regime (eps < 1): %v\n", r.Interpretation.HighFairnessRegime)
+	fmt.Fprintf(w, "  stronger than randomized response (eps < ln 3 = %.4f): %v\n",
+		math.Log(3), r.Interpretation.StrongerThanRandomizedResponse)
+	fmt.Fprintf(w, "  theorem 3.2: every attribute subset is at most %s-DF\n", fmtEps(float64(r.SubsetBound)))
+
+	if r.Bootstrap != nil {
+		fmt.Fprintf(w, "\nbootstrap (%d replicates, %.0f%% level): eps in [%s, %s]",
+			r.Bootstrap.Replicates, 100*r.Bootstrap.Level,
+			fmtEps(float64(r.Bootstrap.Lo)), fmtEps(float64(r.Bootstrap.Hi)))
+		if r.Bootstrap.InfiniteShare > 0 {
+			fmt.Fprintf(w, "  (%.1f%% of replicates infinite — sparse intersections; consider -alpha 1)",
+				100*r.Bootstrap.InfiniteShare)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if r.Credible != nil {
+		c := r.Credible
+		fmt.Fprintf(w, "\nposterior (%d samples, Dirichlet(%g) prior, %.0f%% credible): eps in [%s, %s], mean %s, sup %s\n",
+			c.Samples, c.PriorAlpha, 100*c.Level,
+			fmtEps(float64(c.Lo)), fmtEps(float64(c.Hi)),
+			fmtEps(float64(c.Mean)), fmtEps(float64(c.Sup)))
+	}
+
+	for _, rev := range r.Reversals {
+		fmt.Fprintf(w, "\nSimpson reversal: %s=%s beats %s=%s on %q overall, "+
+			"but loses within every stratum of %s\n",
+			rev.Attr, rev.ValueHi, rev.Attr, rev.ValueLo, rev.Outcome, rev.Conditioned)
+	}
+
+	if r.Repair != nil {
+		p := r.Repair
+		fmt.Fprintf(w, "\nrepair proposal (target eps = %g, expected decisions changed: %.2f%%):\n",
+			p.TargetEpsilon, 100*p.Movement)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "group\trate\tnew rate\tflip + to -\tflip - to +")
+		for _, gp := range p.Groups {
+			fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				gp.Group, gp.OldRate, gp.NewRate, gp.FlipPosToNeg, gp.FlipNegToPos)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if r.EqualizedOdds != nil {
+		eo := r.EqualizedOdds
+		fmt.Fprintf(w, "\nequalized-odds analogue (section 7.1): eps = %s\n", fmtEps(float64(eo.Epsilon)))
+		for _, s := range eo.PerLabel {
+			fmt.Fprintf(w, "  stratum %s: eps = %s\n", s.Label, fmtEps(float64(s.Epsilon)))
+		}
+	}
+	return nil
+}
+
+func fmtEps(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", v)
+}

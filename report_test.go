@@ -1,0 +1,192 @@
+package fairness_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	fairness "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+func TestReportJSONSchema(t *testing.T) {
+	counts := datasets.Admissions()
+	auditor := fairness.MustAuditor(counts.Space(), counts.Outcomes(),
+		fairness.WithBootstrap(100, 0.95),
+		fairness.WithCredible(100, 1, 0.95),
+		fairness.WithRepairTarget(0.5),
+	)
+	rep, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m["schema_version"].(float64); !ok || int(v) != fairness.ReportSchemaVersion {
+		t.Errorf("schema_version = %v", m["schema_version"])
+	}
+	for _, key := range []string{
+		"estimator", "alpha", "observations", "epsilon", "finite",
+		"witness", "interpretation", "subset_bound", "ladder",
+		"bootstrap", "credible", "reversals", "repair",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("schema missing key %q", key)
+		}
+	}
+	if _, ok := m["equalized_odds"]; ok {
+		t.Error("equalized_odds present without being requested")
+	}
+	// Witness labels are human-readable, not indices.
+	w := m["witness"].(map[string]any)
+	if !strings.Contains(w["most_favored"].(string), "=") {
+		t.Errorf("witness label %v not name=value form", w["most_favored"])
+	}
+}
+
+func TestReportMarshalPinsSchemaVersion(t *testing.T) {
+	var rep fairness.Report // zero-valued: SchemaVersion field is 0
+	b, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if int(m["schema_version"].(float64)) != fairness.ReportSchemaVersion {
+		t.Errorf("zero report schema_version = %v", m["schema_version"])
+	}
+}
+
+func TestJSONFloatNonFinite(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1.25, "1.25"},
+		{math.Inf(1), `"inf"`},
+		{math.Inf(-1), `"-inf"`},
+		{math.NaN(), `"nan"`},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(fairness.JSONFloat(tc.v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != tc.want {
+			t.Errorf("marshal %v = %s, want %s", tc.v, b, tc.want)
+		}
+		var back fairness.JSONFloat
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if f, bf := tc.v, float64(back); f != bf && !(math.IsNaN(f) && math.IsNaN(bf)) {
+			t.Errorf("round trip %v -> %v", tc.v, back)
+		}
+	}
+	var bad fairness.JSONFloat
+	if err := json.Unmarshal([]byte(`"wat"`), &bad); err == nil {
+		t.Error("invalid sentinel accepted")
+	}
+}
+
+func TestReportInfiniteEpsilon(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts := core.MustCounts(space, []string{"no", "yes"})
+	counts.MustAdd(0, 0, 10)
+	counts.MustAdd(1, 0, 5)
+	counts.MustAdd(1, 1, 5)
+	auditor := fairness.MustAuditor(space, []string{"no", "yes"})
+	rep, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Finite {
+		t.Fatal("expected infinite full epsilon")
+	}
+	var text bytes.Buffer
+	if err := rep.RenderText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "inf") {
+		t.Error("infinite epsilon not rendered in text")
+	}
+	var js bytes.Buffer
+	if err := rep.RenderJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"epsilon": "inf"`) {
+		t.Errorf("infinite epsilon not rendered in JSON:\n%s", js.String())
+	}
+	// The JSON remains parseable with the sentinel in place.
+	var back fairness.Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(back.Epsilon), 1) {
+		t.Errorf("round-tripped epsilon = %v", back.Epsilon)
+	}
+}
+
+func TestRenderTextContainsAllSections(t *testing.T) {
+	counts := datasets.Admissions()
+	auditor := fairness.MustAuditor(counts.Space(), counts.Outcomes(),
+		fairness.WithBootstrap(100, 0.95),
+		fairness.WithCredible(100, 1, 0.95),
+		fairness.WithRepairTarget(0.5),
+		fairness.WithSeed(2),
+	)
+	rep, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"700 observations",
+		"gender,race",
+		"interpretation",
+		"bootstrap",
+		"posterior",
+		"Simpson reversal",
+		"repair proposal",
+		"theorem 3.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRepairSkippedForMultiOutcome(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
+	counts := core.MustCounts(space, []string{"x", "y", "z"})
+	for g := 0; g < 2; g++ {
+		for y := 0; y < 3; y++ {
+			counts.MustAdd(g, y, float64(5+g+y))
+		}
+	}
+	auditor := fairness.MustAuditor(space, []string{"x", "y", "z"},
+		fairness.WithRepairTarget(0.5))
+	rep, err := auditor.Run(context.Background(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repair != nil {
+		t.Error("repair plan produced for a non-binary outcome")
+	}
+}
