@@ -471,7 +471,7 @@ func BenchmarkBootstrap(b *testing.B) {
 }
 
 // BenchmarkMonitorObserve measures the streaming monitor's per-decision
-// cost (O(1) amortized).
+// cost (O(1) amortized) on the sharded engine.
 func BenchmarkMonitorObserve(b *testing.B) {
 	m, err := stream.NewMonitor(census.Space(), census.IncomeValues, 5000, 0)
 	if err != nil {
@@ -491,6 +491,124 @@ func BenchmarkMonitorObserve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMonitorObserveParallel is the headline streaming benchmark:
+// batched ingest (64 observations per batch, the dfserve observe-path
+// shape) through the sharded engine versus the retained single-mutex
+// LockedMonitor baseline, serially and with one ingesting goroutine per
+// GOMAXPROCS. Each iteration is one 64-observation batch; the sharded
+// engine's parallel ns/op should approach its serial ns/op divided by
+// the core count, while the locked baseline serializes.
+// scripts/bench_stream.sh records all four as BENCH_stream.json.
+func BenchmarkMonitorObserveParallel(b *testing.B) {
+	space := census.Space()
+	const batch = 64
+	const pool = 1 << 16
+	r := rng.New(9)
+	groups := make([]int, pool)
+	outcomes := make([]int, pool)
+	for i := range groups {
+		groups[i] = r.Intn(space.Size())
+		outcomes[i] = r.Intn(2)
+	}
+	offsets := pool/batch - 1
+
+	engines := []struct {
+		name string
+		make func() (func(g, y []int) error, error)
+	}{
+		{"sharded", func() (func(g, y []int) error, error) {
+			m, err := stream.NewMonitor(space, census.IncomeValues, 5000, 0)
+			if err != nil {
+				return nil, err
+			}
+			return m.ObserveBatch, nil
+		}},
+		{"locked", func() (func(g, y []int) error, error) {
+			m, err := stream.NewLocked(space, census.IncomeValues, 5000, 0)
+			if err != nil {
+				return nil, err
+			}
+			return m.ObserveBatch, nil
+		}},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name+"-serial", func(b *testing.B) {
+			observe, err := eng.make()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i % offsets) * batch
+				if err := observe(groups[off:off+batch], outcomes[off:off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(eng.name+"-parallel", func(b *testing.B) {
+			observe, err := eng.make()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					off := (i % offsets) * batch
+					i++
+					if err := observe(groups[off:off+batch], outcomes[off:off+batch]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMonitorSnapshot measures the merge-on-snapshot read path of
+// the sharded monitor: folding every shard into one table (into) and
+// the full buffered ε report (epsilon), on a census-scale table after
+// 64k observations.
+func BenchmarkMonitorSnapshot(b *testing.B) {
+	space := census.Space()
+	m, err := stream.NewMonitor(space, census.IncomeValues, 5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(10)
+	groups := make([]int, 1024)
+	outcomes := make([]int, 1024)
+	for i := 0; i < 64; i++ {
+		for j := range groups {
+			groups[j] = r.Intn(space.Size())
+			outcomes[j] = r.Intn(2)
+		}
+		if err := m.ObserveBatch(groups, outcomes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := core.MustCounts(space, census.IncomeValues)
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.SnapshotInto(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("epsilon", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Epsilon(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEqualizedOdds measures the §7.1 conditional-DF computation on

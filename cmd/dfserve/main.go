@@ -7,13 +7,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/audit  — audit one dataset (JSON in, Report JSON out)
-//	GET  /healthz   — liveness probe
+//	POST   /v1/audit                  — audit one dataset (JSON in, Report JSON out)
+//	PUT    /v1/monitors/{id}          — create/replace a named streaming monitor
+//	GET    /v1/monitors               — list monitors
+//	GET    /v1/monitors/{id}          — one monitor's config and counters
+//	DELETE /v1/monitors/{id}          — remove a monitor
+//	POST   /v1/monitors/{id}/observe  — ingest a batch of decisions (hot path)
+//	GET    /v1/monitors/{id}/report   — full versioned Report from a live snapshot
+//	GET    /healthz                   — liveness probe
 //
-// Each request gets its own Auditor over the shared worker-pool engine;
-// requests are handled concurrently and the request context is threaded
-// through the bootstrap/posterior fan-outs, so a disconnected or
-// timed-out client cancels its in-flight resampling promptly.
+// Stateless audits get a per-request Auditor over the shared worker-pool
+// engine; the request context is threaded through the
+// bootstrap/posterior fan-outs, so a disconnected or timed-out client
+// cancels its in-flight resampling promptly. Monitors are long-lived and
+// internally sharded, so concurrent observe streams against one monitor
+// scale with cores. SIGINT/SIGTERM triggers a graceful drain: in-flight
+// requests finish (up to -drain), new connections are refused.
 //
 // Usage:
 //
@@ -35,6 +44,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	fairness "repro"
@@ -46,18 +57,52 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool cap per request (0 = one per CPU)")
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
 	maxResamples := flag.Int("max-resamples", 100_000, "maximum bootstrap replicates / posterior samples per request")
+	maxMonitors := flag.Int("max-monitors", 1024, "maximum registered monitors")
+	maxMonitorCells := flag.Int("max-monitor-cells", 1<<20, "maximum stored cells per monitor: groups × outcomes × ingest shards (× buckets for sliding windows)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "per-response write deadline")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(serverConfig{workers: *workers, maxBody: *maxBody, maxResamples: *maxResamples}),
+		Addr: *addr,
+		Handler: newMux(serverConfig{
+			workers:         *workers,
+			maxBody:         *maxBody,
+			maxResamples:    *maxResamples,
+			maxMonitors:     *maxMonitors,
+			maxMonitorCells: *maxMonitorCells,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting
+	// connections and drains in-flight requests for up to -drain; a
+	// second signal (stop() restores default handling) kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Printf("dfserve: signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		drained <- srv.Shutdown(shutdownCtx)
+	}()
+
 	log.Printf("dfserve: listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dfserve:", err)
 		os.Exit(1)
 	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "dfserve: drain:", err)
+		os.Exit(1)
+	}
+	log.Printf("dfserve: drained, bye")
 }
 
 type serverConfig struct {
@@ -67,14 +112,26 @@ type serverConfig struct {
 	// posterior samples: each replicate slot is allocated up front, so an
 	// unbounded request could OOM the server with a 60-byte body.
 	maxResamples int
+	// maxMonitors and maxMonitorCells bound the registry's memory:
+	// monitors are long-lived server state, unlike audit requests.
+	maxMonitors     int
+	maxMonitorCells int
 }
 
 // newMux builds the service's routes; split from main for httptest use.
+// Each mux owns a fresh monitor registry.
 func newMux(cfg serverConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
 		handleAudit(w, r, cfg)
 	})
+	reg := newRegistry(cfg)
+	mux.HandleFunc("PUT /v1/monitors/{id}", reg.handlePut)
+	mux.HandleFunc("GET /v1/monitors", reg.handleList)
+	mux.HandleFunc("GET /v1/monitors/{id}", reg.handleGet)
+	mux.HandleFunc("DELETE /v1/monitors/{id}", reg.handleDelete)
+	mux.HandleFunc("POST /v1/monitors/{id}/observe", reg.handleObserve)
+	mux.HandleFunc("GET /v1/monitors/{id}/report", reg.handleReport)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)

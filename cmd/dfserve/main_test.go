@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	fairness "repro"
 	"repro/internal/datasets"
 )
 
@@ -354,5 +356,499 @@ func TestMaxBodyLimit(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func putMonitor(t *testing.T, srv *httptest.Server, id, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/monitors/"+id, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	srv := testServer(t)
+	cfg := `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["deny", "approve"],
+		"half_life": 1000, "alpha": 1}`
+
+	resp := putMonitor(t, srv, "hiring", cfg)
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", resp.StatusCode, b)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["id"] != "hiring" || stats["policy"] != "exponential(half_life=1000)" {
+		t.Fatalf("stats = %s", b)
+	}
+
+	// Replacing resets and returns 200.
+	resp = putMonitor(t, srv, "hiring", cfg)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replace status = %d", resp.StatusCode)
+	}
+
+	// A second monitor appears in the sorted list.
+	resp = putMonitor(t, srv, "admissions", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["x", "y"], "window": {"size": 512, "buckets": 4}}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second create status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/v1/monitors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Monitors []map[string]any `json:"monitors"`
+	}
+	if err := json.Unmarshal(b, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Monitors) != 2 || list.Monitors[0]["id"] != "admissions" || list.Monitors[1]["id"] != "hiring" {
+		t.Fatalf("list = %s", b)
+	}
+	if list.Monitors[0]["policy"] != "sliding(window=512,buckets=4)" {
+		t.Fatalf("sliding policy label = %v", list.Monitors[0]["policy"])
+	}
+
+	// GET one, DELETE it, then 404.
+	resp, err = http.Get(srv.URL + "/v1/monitors/admissions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/monitors/admissions", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/monitors/admissions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete status = %d", resp.StatusCode)
+	}
+}
+
+func TestMonitorPutValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name, id, body string
+	}{
+		{"bad id", "bad*id", `{}`},
+		{"no policy", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"]}`},
+		{"both policies", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"half_life": 10, "window": {"size": 8}}`},
+		{"bad half life", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"half_life": -5}`},
+		{"bad window buckets", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"window": {"size": 7, "buckets": 2}}`},
+		{"single outcome", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x"],
+			"half_life": 10}`},
+		{"empty space", "m", `{"space": [], "outcomes": ["x", "y"], "half_life": 10}`},
+		{"unknown field", "m", `{"bogus": 1}`},
+		{"bad threshold", "m", `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"],
+			"half_life": 10, "threshold": -1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := putMonitor(t, srv, tc.id, tc.body)
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", resp.StatusCode, b)
+			}
+		})
+	}
+}
+
+func TestMonitorLimits(t *testing.T) {
+	// The cell cap counts shard replication, so size it relative to this
+	// machine's shard count: the 2x2 monitor (4 logical cells) fits, the
+	// 4-bucket sliding one (16 logical cells) does not.
+	srv := httptest.NewServer(newMux(serverConfig{
+		workers: 0, maxBody: 32 << 20, maxMonitors: 1,
+		maxMonitorCells: 8 * fairness.MonitorShards(),
+	}))
+	defer srv.Close()
+	small := `{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["x", "y"], "half_life": 10}`
+	resp := putMonitor(t, srv, "one", small)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create status = %d", resp.StatusCode)
+	}
+	// Count limit: a second distinct monitor is refused, replacing is not.
+	resp = putMonitor(t, srv, "two", small)
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("over-count status = %d: %s", resp.StatusCode, b)
+	}
+	resp = putMonitor(t, srv, "one", small)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replace under count limit status = %d", resp.StatusCode)
+	}
+	// Cell limit: 2 groups x 2 outcomes x 4 buckets = 16 > 8.
+	resp = putMonitor(t, srv, "one", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["x", "y"], "window": {"size": 8, "buckets": 4}}`)
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "limit") {
+		t.Fatalf("over-cells status = %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestMonitorObserveForms(t *testing.T) {
+	srv := testServer(t)
+	resp := putMonitor(t, srv, "m", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "half_life": 1e9}`)
+	resp.Body.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/monitors/m/observe", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	// Named form.
+	resp2, b := post(`{"observations": [
+		{"group": {"g": "a"}, "outcome": "approve"},
+		{"group": {"g": "b"}, "outcome": "deny"}]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("named observe status = %d: %s", resp2.StatusCode, b)
+	}
+	var or map[string]any
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or["observed"].(float64) != 2 || or["seen"].(float64) != 2 {
+		t.Fatalf("observe response = %s", b)
+	}
+
+	// Compact indexed form.
+	resp2, b = post(`{"groups": [0, 1, 0], "outcomes": [1, 0, 1]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("indexed observe status = %d: %s", resp2.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or["seen"].(float64) != 5 {
+		t.Fatalf("seen = %v, want 5", or["seen"])
+	}
+
+	// Bad forms.
+	for name, body := range map[string]string{
+		"both forms":      `{"observations": [{"group": {"g": "a"}, "outcome": "deny"}], "groups": [0], "outcomes": [0]}`,
+		"empty":           `{}`,
+		"length mismatch": `{"groups": [0, 1], "outcomes": [0]}`,
+		"bad index":       `{"groups": [7], "outcomes": [0]}`,
+		"unknown outcome": `{"observations": [{"group": {"g": "a"}, "outcome": "zzz"}]}`,
+		"unknown value":   `{"observations": [{"group": {"g": "q"}, "outcome": "deny"}]}`,
+	} {
+		resp3, b := post(body)
+		if resp3.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400: %s", name, resp3.StatusCode, b)
+		}
+	}
+	// A rejected batch must not advance the stream.
+	resp2, b = post(`{"groups": [0], "outcomes": [1]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("final observe status = %d: %s", resp2.StatusCode, b)
+	}
+	json.Unmarshal(b, &or)
+	if or["seen"].(float64) != 6 {
+		t.Fatalf("seen = %v, want 6 (failed batches must not consume tickets)", or["seen"])
+	}
+
+	// Unknown monitor.
+	resp4, err := http.Post(srv.URL+"/v1/monitors/ghost/observe", "application/json",
+		strings.NewReader(`{"groups": [0], "outcomes": [0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost monitor status = %d", resp4.StatusCode)
+	}
+}
+
+func TestMonitorReportAndAlert(t *testing.T) {
+	srv := testServer(t)
+	// Tumbling window keeps counts integral, so the bootstrap applies;
+	// threshold 0.5 with min_effective 10 arms alerting.
+	resp := putMonitor(t, srv, "live", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "window": {"size": 100000}, "threshold": 0.5, "min_effective": 10}`)
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put status = %d: %s", resp.StatusCode, b)
+	}
+
+	// Heavily biased batch: a approved 3/4, b approved 1/4.
+	var groups, outcomes []int
+	for i := 0; i < 200; i++ {
+		groups = append(groups, i%2)
+		if i%2 == 0 {
+			outcomes = append(outcomes, boolToInt(i%8 != 0))
+		} else {
+			outcomes = append(outcomes, boolToInt(i%8 == 1))
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"groups": groups, "outcomes": outcomes})
+	resp2, err := http.Post(srv.URL+"/v1/monitors/live/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("observe status = %d: %s", resp2.StatusCode, b)
+	}
+	var or struct {
+		Seen  int `json:"seen"`
+		Alert *struct {
+			Epsilon      float64 `json:"epsilon"`
+			Threshold    float64 `json:"threshold"`
+			MostFavored  string  `json:"most_favored"`
+			LeastFavored string  `json:"least_favored"`
+		} `json:"alert"`
+	}
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Alert == nil {
+		t.Fatalf("no alert on a biased stream: %s", b)
+	}
+	if or.Alert.Epsilon <= or.Alert.Threshold || or.Alert.MostFavored == "" {
+		t.Fatalf("alert = %+v", or.Alert)
+	}
+
+	// Full report with bootstrap (integral window counts) and a seed.
+	resp3, err := http.Get(srv.URL + "/v1/monitors/live/report?bootstrap=50&level=0.9&seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d: %s", resp3.StatusCode, b)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["schema_version"].(float64) != 1 || rep["observations"].(float64) != 200 {
+		t.Fatalf("report = %s", b)
+	}
+	if rep["bootstrap"] == nil {
+		t.Fatalf("bootstrap section missing: %s", b)
+	}
+	// Invalid query parameters are 400s.
+	for _, q := range []string{"?bootstrap=oops", "?credible=10&level=9", "?subsets=maybe"} {
+		resp4, err := http.Get(srv.URL + "/v1/monitors/live/report" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp4.Body.Close()
+		if resp4.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q status = %d, want 400", q, resp4.StatusCode)
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestMonitorObserveRaceStress is the registry's concurrency acceptance
+// test (run under -race in CI): many goroutines hammer one monitor's
+// observe endpoint while a reader polls its report, and the final
+// effective counts are exact — the window policy's sums are
+// order-independent, so the sharded engine must lose or duplicate
+// nothing.
+func TestMonitorObserveRaceStress(t *testing.T) {
+	srv := testServer(t)
+	resp := putMonitor(t, srv, "hot", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "window": {"size": 1000000000}}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put status = %d", resp.StatusCode)
+	}
+
+	// Every batch carries the same distribution: group a approves 2/3,
+	// group b approves 1/3 — so the final ε is exactly ln 2 at any scale.
+	batch, _ := json.Marshal(map[string]any{
+		"groups":   []int{0, 0, 0, 1, 1, 1},
+		"outcomes": []int{1, 1, 0, 0, 0, 1},
+	})
+	const workers = 8
+	const batchesPerWorker = 30
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/v1/monitors/hot/report")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Mid-stream reports must be well-formed whenever 200 (a cold
+			// table with one populated group is a legitimate 422).
+			if resp.StatusCode == http.StatusOK {
+				var rep map[string]any
+				if err := json.Unmarshal(b, &rep); err != nil {
+					t.Errorf("mid-stream report not JSON: %v", err)
+					return
+				}
+			} else if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Errorf("mid-stream report status = %d: %s", resp.StatusCode, b)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batchesPerWorker; i++ {
+				resp, err := http.Post(srv.URL+"/v1/monitors/hot/observe",
+					"application/json", bytes.NewReader(batch))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("observe status = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := float64(workers * batchesPerWorker * 6)
+	resp2, err := http.Get(srv.URL + "/v1/monitors/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var stats struct {
+		Seen           float64 `json:"seen"`
+		EffectiveCount float64 `json:"effective_count"`
+	}
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Seen != total || stats.EffectiveCount != total {
+		t.Fatalf("seen %v effective %v, want exactly %v", stats.Seen, stats.EffectiveCount, total)
+	}
+
+	resp3, err := http.Get(srv.URL + "/v1/monitors/hot/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("final report status = %d: %s", resp3.StatusCode, b)
+	}
+	var rep struct {
+		Epsilon      float64 `json:"epsilon"`
+		Observations float64 `json:"observations"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations != total {
+		t.Fatalf("report observations %v, want %v", rep.Observations, total)
+	}
+	if want := math.Log(2); math.Abs(rep.Epsilon-want) > 1e-9 {
+		t.Fatalf("final epsilon %v, want ln 2 = %v", rep.Epsilon, want)
+	}
+}
+
+// TestMonitorAlertInfiniteEpsilon: an all-or-nothing disparity measures
+// eps = +Inf; the alert must serialize it with the report schema's
+// JSONFloat convention ("inf") instead of failing to encode.
+func TestMonitorAlertInfiniteEpsilon(t *testing.T) {
+	srv := testServer(t)
+	resp := putMonitor(t, srv, "sharp", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "half_life": 500, "threshold": 1.0}`)
+	resp.Body.Close()
+	// Group a always approved, group b always denied: empirical eps = +Inf.
+	resp2, err := http.Post(srv.URL+"/v1/monitors/sharp/observe", "application/json",
+		strings.NewReader(`{"groups": [0, 0, 1, 1], "outcomes": [1, 1, 0, 0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("observe status = %d: %s", resp2.StatusCode, b)
+	}
+	var or struct {
+		EffectiveCount *float64 `json:"effective_count"`
+		Alert          *struct {
+			Epsilon fairness.JSONFloat `json:"epsilon"`
+		} `json:"alert"`
+	}
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatalf("response not JSON (%v): %s", err, b)
+	}
+	if or.Alert == nil || !math.IsInf(float64(or.Alert.Epsilon), 1) {
+		t.Fatalf("want an infinite-eps alert, got %s", b)
+	}
+	if or.EffectiveCount == nil {
+		t.Fatalf("watched observe response missing effective_count: %s", b)
 	}
 }

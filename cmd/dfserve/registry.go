@@ -1,0 +1,495 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	fairness "repro"
+)
+
+// registry is the stateful half of dfserve: a set of named, long-lived
+// streaming monitors. Each monitor is internally sharded
+// (fairness.Monitor), so concurrent observe streams against one monitor
+// scale with cores; the registry itself is only a read-mostly name
+// table, taken with a read lock on the hot observe path.
+type registry struct {
+	cfg serverConfig
+
+	mu       sync.RWMutex
+	monitors map[string]*monitorEntry
+}
+
+func newRegistry(cfg serverConfig) *registry {
+	return &registry{cfg: cfg, monitors: make(map[string]*monitorEntry)}
+}
+
+// monitorEntry binds one configured monitor to its (optional) threshold
+// watch. The entry is immutable after creation — a PUT replaces the
+// whole entry — so handlers touch it without the registry lock.
+type monitorEntry struct {
+	id    string
+	cfg   monitorSpec
+	mon   *fairness.Monitor
+	watch *fairness.Watch // non-nil iff cfg.Threshold > 0
+}
+
+// monitorSpec is the PUT /v1/monitors/{id} body: the space and outcome
+// vocabulary plus exactly one window policy — an exponential half-life
+// or a (possibly bucketed) count window — and optional alerting.
+type monitorSpec struct {
+	Space    []attrSpec `json:"space"`
+	Outcomes []string   `json:"outcomes"`
+	// HalfLife selects exponential decay: the number of observations
+	// after which an old observation's influence is halved.
+	HalfLife float64 `json:"half_life,omitempty"`
+	// Window selects a count window: tumbling when buckets is 0 or 1,
+	// sliding otherwise.
+	Window *windowSpec `json:"window,omitempty"`
+	// Alpha is the Eq. 7 smoothing applied when reporting ε.
+	Alpha float64 `json:"alpha"`
+	// Threshold, when positive, arms alerting: observe responses carry
+	// an alert whenever the running ε exceeds it (after MinEffective
+	// mass has accumulated).
+	Threshold    float64 `json:"threshold,omitempty"`
+	MinEffective float64 `json:"min_effective,omitempty"`
+}
+
+type windowSpec struct {
+	Size    int `json:"size"`
+	Buckets int `json:"buckets,omitempty"`
+}
+
+// policyLabel renders the spec's window policy for listings.
+func (s *monitorSpec) policyLabel() string {
+	switch {
+	case s.Window != nil && s.Window.Buckets > 1:
+		return fmt.Sprintf("sliding(window=%d,buckets=%d)", s.Window.Size, s.Window.Buckets)
+	case s.Window != nil:
+		return fmt.Sprintf("tumbling(window=%d)", s.Window.Size)
+	default:
+		return fmt.Sprintf("exponential(half_life=%g)", s.HalfLife)
+	}
+}
+
+// build validates the spec and constructs its monitor (and watch).
+func (s *monitorSpec) build(maxCells int) (*fairness.Monitor, *fairness.Watch, error) {
+	if (s.HalfLife != 0) == (s.Window != nil) {
+		return nil, nil, fmt.Errorf("exactly one of half_life or window is required")
+	}
+	if s.Window != nil && s.Window.Buckets < 0 {
+		return nil, nil, fmt.Errorf("window.buckets must be non-negative, got %d", s.Window.Buckets)
+	}
+	if len(s.Space) == 0 {
+		return nil, nil, fmt.Errorf("space: need at least one protected attribute")
+	}
+	attrs := make([]fairness.Attr, len(s.Space))
+	for i, a := range s.Space {
+		attrs[i] = fairness.Attr{Name: a.Name, Values: a.Values}
+	}
+	space, err := fairness.NewSpace(attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxCells > 0 {
+		// The stored cells are replicated per ingest shard (and per
+		// bucket for sliding windows), so the cap compares against the
+		// real allocation, not just the logical table size.
+		cells := space.Size() * len(s.Outcomes) * fairness.MonitorShards()
+		if s.Window != nil && s.Window.Buckets > 1 {
+			cells *= s.Window.Buckets
+		}
+		if cells > maxCells {
+			return nil, nil, fmt.Errorf("monitor needs %d stored cells (including shard/bucket replication), exceeding this server's limit of %d", cells, maxCells)
+		}
+	}
+	var mon *fairness.Monitor
+	switch {
+	case s.Window != nil && s.Window.Buckets > 1:
+		mon, err = fairness.NewSlidingMonitor(space, s.Outcomes, s.Window.Size, s.Window.Buckets, s.Alpha)
+	case s.Window != nil:
+		mon, err = fairness.NewTumblingMonitor(space, s.Outcomes, s.Window.Size, s.Alpha)
+	default:
+		mon, err = fairness.NewMonitor(space, s.Outcomes, s.HalfLife, s.Alpha)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var watch *fairness.Watch
+	if s.Threshold != 0 || s.MinEffective != 0 {
+		watch, err = fairness.NewWatch(mon, s.Threshold, s.MinEffective)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return mon, watch, nil
+}
+
+func validMonitorID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("monitor id must be 1-128 characters")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("monitor id may only contain letters, digits, '-', '_' and '.'")
+		}
+	}
+	return nil
+}
+
+// handlePut creates or replaces a monitor. Replacing resets its state.
+func (r *registry) handlePut(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if err := validMonitorID(id); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var spec monitorSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid monitor config: %w", err))
+		return
+	}
+	mon, watch, err := spec.build(r.cfg.maxMonitorCells)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry := &monitorEntry{id: id, cfg: spec, mon: mon, watch: watch}
+
+	r.mu.Lock()
+	_, replaced := r.monitors[id]
+	if !replaced && r.cfg.maxMonitors > 0 && len(r.monitors) >= r.cfg.maxMonitors {
+		r.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("monitor count limit %d reached", r.cfg.maxMonitors))
+		return
+	}
+	r.monitors[id] = entry
+	r.mu.Unlock()
+
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, entry.stats())
+}
+
+// lookup fetches an entry under the read lock.
+func (r *registry) lookup(id string) (*monitorEntry, bool) {
+	r.mu.RLock()
+	e, ok := r.monitors[id]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+func (r *registry) handleGet(w http.ResponseWriter, req *http.Request) {
+	e, ok := r.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.stats())
+}
+
+func (r *registry) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	_, ok := r.monitors[id]
+	delete(r.monitors, id)
+	r.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (r *registry) handleList(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	entries := make([]*monitorEntry, 0, len(r.monitors))
+	for _, e := range r.monitors {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := struct {
+		Monitors []monitorStats `json:"monitors"`
+	}{Monitors: make([]monitorStats, len(entries))}
+	for i, e := range entries {
+		out.Monitors[i] = e.stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// monitorStats is the listing/GET view of one monitor.
+type monitorStats struct {
+	ID             string  `json:"id"`
+	Policy         string  `json:"policy"`
+	Alpha          float64 `json:"alpha"`
+	Threshold      float64 `json:"threshold,omitempty"`
+	MinEffective   float64 `json:"min_effective,omitempty"`
+	Seen           int     `json:"seen"`
+	EffectiveCount float64 `json:"effective_count"`
+}
+
+func (e *monitorEntry) stats() monitorStats {
+	return monitorStats{
+		ID:             e.id,
+		Policy:         e.cfg.policyLabel(),
+		Alpha:          e.cfg.Alpha,
+		Threshold:      e.cfg.Threshold,
+		MinEffective:   e.cfg.MinEffective,
+		Seen:           e.mon.Seen(),
+		EffectiveCount: e.mon.EffectiveCount(),
+	}
+}
+
+// observeRequest is the POST /v1/monitors/{id}/observe body: either
+// named observations or pre-encoded parallel index arrays (the compact
+// hot-path form; group indices enumerate the space row-major with the
+// last attribute varying fastest, as everywhere else).
+type observeRequest struct {
+	Observations []observation `json:"observations,omitempty"`
+	Groups       []int         `json:"groups,omitempty"`
+	Outcomes     []int         `json:"outcomes,omitempty"`
+}
+
+// observeResponse acknowledges one ingested batch. effective_count is
+// present only on monitors with an armed threshold — it falls out of the
+// per-batch check for free there, while computing it for unwatched
+// monitors would put a full shard merge on the hot path (GET
+// /v1/monitors/{id} reports it on demand).
+type observeResponse struct {
+	Observed       int          `json:"observed"`
+	Seen           int          `json:"seen"`
+	EffectiveCount *float64     `json:"effective_count,omitempty"`
+	Alert          *alertReport `json:"alert,omitempty"`
+}
+
+// alertReport encodes ε with the report schema's JSONFloat convention:
+// an all-or-nothing disparity measures ε = +Inf (still very much above
+// any threshold) and must serialize as "inf", not break the response.
+type alertReport struct {
+	Epsilon      fairness.JSONFloat `json:"epsilon"`
+	Threshold    float64            `json:"threshold"`
+	Outcome      string             `json:"outcome"`
+	MostFavored  string             `json:"most_favored"`
+	LeastFavored string             `json:"least_favored"`
+	SeenAt       int                `json:"seen_at"`
+}
+
+// handleObserve ingests one batch of decisions — the hot path. The batch
+// is decoded and validated, then lands in the monitor's sharded table
+// with a single ticket-range claim; when the monitor has a threshold,
+// one ε check runs per batch (not per observation).
+func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
+	e, ok := r.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
+		return
+	}
+	var body observeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid observe body: %w", err))
+		return
+	}
+	groups, outcomes, err := e.encode(&body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The unwatched path is pure sharded ingest: no snapshot merge, no
+	// reporting lock. A watched monitor pays exactly one merge per batch
+	// (the threshold check), whose effective mass the response reuses.
+	var alert *fairness.Alert
+	var effective *float64
+	if e.watch != nil {
+		var eff float64
+		alert, eff, err = e.watch.ObserveBatchChecked(groups, outcomes)
+		effective = &eff
+	} else {
+		err = e.mon.ObserveBatch(groups, outcomes)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := observeResponse{
+		Observed:       len(groups),
+		Seen:           e.mon.Seen(),
+		EffectiveCount: effective,
+	}
+	if alert != nil {
+		space := e.mon.Space()
+		resp.Alert = &alertReport{
+			Epsilon:      fairness.JSONFloat(alert.Epsilon),
+			Threshold:    alert.Threshold,
+			Outcome:      e.cfg.Outcomes[alert.Witness.Outcome],
+			MostFavored:  space.Label(alert.Witness.GroupHi),
+			LeastFavored: space.Label(alert.Witness.GroupLo),
+			SeenAt:       alert.SeenAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// encode lowers the request's observations onto group/outcome indices.
+func (e *monitorEntry) encode(body *observeRequest) ([]int, []int, error) {
+	named := len(body.Observations) > 0
+	indexed := len(body.Groups) > 0 || len(body.Outcomes) > 0
+	switch {
+	case named && indexed:
+		return nil, nil, fmt.Errorf("provide observations or groups/outcomes arrays, not both")
+	case named:
+		space := e.mon.Space()
+		outIdx := make(map[string]int, len(e.cfg.Outcomes))
+		for i, o := range e.cfg.Outcomes {
+			outIdx[o] = i
+		}
+		groups := make([]int, len(body.Observations))
+		outcomes := make([]int, len(body.Observations))
+		for i, obs := range body.Observations {
+			g, err := space.IndexByValues(obs.Group)
+			if err != nil {
+				return nil, nil, fmt.Errorf("observations[%d]: %w", i, err)
+			}
+			y, ok := outIdx[obs.Outcome]
+			if !ok {
+				return nil, nil, fmt.Errorf("observations[%d]: unknown outcome %q", i, obs.Outcome)
+			}
+			groups[i] = g
+			outcomes[i] = y
+		}
+		return groups, outcomes, nil
+	case indexed:
+		if len(body.Groups) != len(body.Outcomes) {
+			return nil, nil, fmt.Errorf("groups and outcomes arrays differ in length (%d vs %d)",
+				len(body.Groups), len(body.Outcomes))
+		}
+		return body.Groups, body.Outcomes, nil
+	default:
+		return nil, nil, fmt.Errorf("empty observe batch")
+	}
+}
+
+// handleReport snapshots the monitor and runs the full audit pipeline
+// over it, returning the same versioned Report as POST /v1/audit. Query
+// parameters request optional sections: bootstrap=N (window policies
+// only — exponential snapshots are non-integral), credible=N,
+// prior_alpha, level, seed, subsets=false.
+func (r *registry) handleReport(w http.ResponseWriter, req *http.Request) {
+	e, ok := r.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
+		return
+	}
+	opts, err := reportOptions(req, r.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Distinguish bad option arguments (a client mistake, 400) from audit
+	// failures on the snapshot (422): Monitor.Audit surfaces both through
+	// one error, so validate the configuration separately first.
+	if _, err := fairness.NewAuditor(e.mon.Space(), e.cfg.Outcomes,
+		append([]fairness.Option{fairness.WithAlpha(e.cfg.Alpha)}, opts...)...); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := e.mon.Audit(req.Context(), opts...)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			writeError(w, 499, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := report.RenderJSON(w); err != nil {
+		log.Printf("dfserve: writing report: %v", err)
+	}
+}
+
+// reportOptions parses the report query parameters onto the
+// fairness.Option surface; argument validation happens in NewAuditor.
+func reportOptions(req *http.Request, cfg serverConfig) ([]fairness.Option, error) {
+	q := req.URL.Query()
+	opts := []fairness.Option{fairness.WithWorkers(cfg.workers)}
+	level := 0.95
+	if s := q.Get("level"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("level: %w", err)
+		}
+		level = v
+	}
+	if s := q.Get("bootstrap"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap: %w", err)
+		}
+		if cfg.maxResamples > 0 && n > cfg.maxResamples {
+			return nil, fmt.Errorf("bootstrap %d exceeds this server's limit of %d", n, cfg.maxResamples)
+		}
+		opts = append(opts, fairness.WithBootstrap(n, level))
+	}
+	if s := q.Get("credible"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("credible: %w", err)
+		}
+		if cfg.maxResamples > 0 && n > cfg.maxResamples {
+			return nil, fmt.Errorf("credible %d exceeds this server's limit of %d", n, cfg.maxResamples)
+		}
+		prior := 1.0
+		if ps := q.Get("prior_alpha"); ps != "" {
+			v, err := strconv.ParseFloat(ps, 64)
+			if err != nil {
+				return nil, fmt.Errorf("prior_alpha: %w", err)
+			}
+			prior = v
+		}
+		opts = append(opts, fairness.WithCredible(n, prior, level))
+	}
+	if s := q.Get("seed"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed: %w", err)
+		}
+		opts = append(opts, fairness.WithSeed(v))
+	}
+	if s := q.Get("subsets"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("subsets: %w", err)
+		}
+		opts = append(opts, fairness.WithSubsets(v))
+	}
+	return opts, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dfserve: writing response: %v", err)
+	}
+}

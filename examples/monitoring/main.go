@@ -1,11 +1,12 @@
 // Monitoring demonstrates continuous fairness measurement of a deployed
 // decision system — the paper's "critiquing deployed systems" use case —
-// with an exponentially-decayed ε estimate, threshold alerting, and a
-// full audit report snapshotted from the live monitor through the public
-// fairness.Monitor front door. A simulated lending service starts fair,
-// silently regresses after a model update, and the monitor catches the
-// drift; the closing Monitor.Audit(ctx) turns the decayed table into the
-// same versioned report cmd/dfserve serves over HTTP.
+// on the sharded concurrent streaming engine: batched ingest from
+// parallel workers, an exponentially-decayed threshold watch that
+// catches a silent regression, a sliding-window monitor tracking the
+// same stream at a fixed horizon, and a full audit report snapshotted
+// from the live monitor through the public fairness.Monitor front door.
+// The closing Monitor.Audit(ctx) turns the decayed table into the same
+// versioned report cmd/dfserve serves from its monitor registry.
 //
 //	go run ./examples/monitoring
 package main
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 
 	fairness "repro"
 	"repro/internal/rng"
@@ -34,42 +36,70 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A second view of the same stream: a sliding window over the last
+	// 4000 decisions, evicted 500 at a time. Window counts are integral,
+	// so its Audit snapshots even take the bootstrap.
+	windowed, err := fairness.NewSlidingMonitor(space, outcomes, 4000, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Approval rates per intersection: the fair phase, then a regression
 	// where (F, B) applicants are quietly throttled.
 	fairRates := []float64{0.52, 0.50, 0.49, 0.51}
 	brokenRates := []float64{0.52, 0.50, 0.49, 0.17}
 
-	r := rng.New(2024)
-	decide := func(rates []float64) (group, outcome int) {
-		group = r.Intn(space.Size())
-		if r.Float64() < rates[group] {
-			return group, 1
+	makeBatch := func(r *rng.RNG, rates []float64, n int) (groups, ys []int) {
+		groups = make([]int, n)
+		ys = make([]int, n)
+		for i := range groups {
+			groups[i] = r.Intn(space.Size())
+			if r.Float64() < rates[groups[i]] {
+				ys[i] = 1
+			}
 		}
-		return group, 0
+		return groups, ys
 	}
 
-	fmt.Println("phase 1: fair model serving 15,000 decisions")
-	for i := 0; i < 15000; i++ {
-		g, y := decide(fairRates)
-		alert, err := watch.ObserveChecked(g, y)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if alert != nil {
-			log.Fatalf("false alarm during the fair phase: %+v", alert)
-		}
+	// Phase 1: the fair model serves 15,000 decisions from four parallel
+	// ingest workers — the monitor is goroutine-safe and sharded, so the
+	// workers don't serialize on one lock.
+	fmt.Println("phase 1: fair model serving 15,000 decisions from 4 concurrent workers")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(2024 + w))
+			for i := 0; i < 75; i++ {
+				groups, ys := makeBatch(r, fairRates, 50)
+				if err := monitor.ObserveBatch(groups, ys); err != nil {
+					log.Fatal(err)
+				}
+				if err := windowed.ObserveBatch(groups, ys); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
 	}
+	wg.Wait()
 	eps, err := monitor.Epsilon()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  running eps = %.3f (threshold 1.0) — healthy\n\n", eps.Epsilon)
+	fmt.Printf("  running eps = %.3f (threshold 1.0) over %d decisions — healthy\n\n",
+		eps.Epsilon, monitor.Seen())
 
+	// Phase 2: the regressed model deploys. One stream of batches feeds
+	// the decayed watch (alerting) and the sliding window (fixed horizon).
 	fmt.Println("phase 2: regressed model deployed")
-	for i := 0; i < 50000; i++ {
-		g, y := decide(brokenRates)
-		alert, err := watch.ObserveChecked(g, y)
+	r := rng.New(77)
+	for i := 0; i < 1000; i++ {
+		groups, ys := makeBatch(r, brokenRates, 50)
+		if err := windowed.ObserveBatch(groups, ys); err != nil {
+			log.Fatal(err)
+		}
+		alert, _, err := watch.ObserveBatchChecked(groups, ys)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,17 +107,30 @@ func main() {
 			continue
 		}
 		fmt.Printf("  ALERT after %d post-deploy decisions: eps = %.3f > %.1f\n",
-			i+1, alert.Epsilon, alert.Threshold)
+			(i+1)*50, alert.Epsilon, alert.Threshold)
 		fmt.Printf("  witness: %q favors %s over %s\n",
 			outcomes[alert.Witness.Outcome],
 			space.Label(alert.Witness.GroupHi),
 			space.Label(alert.Witness.GroupLo))
+		wEps, err := windowed.Epsilon()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sliding-window view (last ~%0.f decisions): eps = %.3f\n",
+			windowed.EffectiveCount(), wEps.Epsilon)
 		fmt.Println("\nreading: the decayed estimator weights recent decisions, so the")
 		fmt.Println("regression surfaces in thousands of decisions instead of being")
-		fmt.Println("diluted by the long fair history a batch estimate would average over.")
+		fmt.Println("diluted by the long fair history a batch estimate would average over;")
+		fmt.Println("the sliding window gives the same signal at a hard horizon.")
+
+		// One straggler arrives by attribute values instead of indices.
+		if err := monitor.ObserveValues([]string{"F", "B"}, "deny"); err != nil {
+			log.Fatal(err)
+		}
 
 		// Snapshot the live monitor into a full audit report — the same
-		// versioned JSON a watchdog would pull from dfserve's /v1/audit.
+		// versioned JSON a watchdog would pull from dfserve's
+		// GET /v1/monitors/{id}/report.
 		fmt.Println("\nsnapshot audit of the decayed table (posterior uncertainty):")
 		report, err := monitor.Audit(context.Background(),
 			fairness.WithCredible(500, 1, 0.95))

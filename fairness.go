@@ -29,8 +29,12 @@
 // audits cancel cleanly. cmd/dfaudit renders the same report on the
 // command line and cmd/dfserve serves it over HTTP (POST /v1/audit);
 // for identical inputs, options and seed all three produce byte-identical
-// JSON. For deployed systems, Monitor maintains a decayed ε estimate in
-// O(1) per decision and snapshots into the same report via Monitor.Audit.
+// JSON. For deployed systems, Monitor is a sharded concurrent streaming
+// estimator: goroutines Observe/ObserveBatch in O(1) amortized per
+// decision under exponential-decay, tumbling- or sliding-window
+// policies, and Monitor.Audit snapshots the live table into the same
+// report. cmd/dfserve hosts a registry of named monitors
+// (PUT/POST/GET /v1/monitors/...) on top of it.
 //
 // The core concepts:
 //

@@ -238,6 +238,38 @@ func (c *Counts) checkShape(dst *CPT) error {
 	return nil
 }
 
+// AddScaled accumulates scale × src into the receiver cell-wise:
+// c[g][y] += scale · src[g][y]. It is the merge primitive of the sharded
+// streaming engine (per-shard tables carry their own weight basis, and a
+// snapshot folds every shard into one table with a single scaled add per
+// shard). src must have the same group count and number of outcomes;
+// scale must be finite and non-negative (a scale of 0 is a no-op, which
+// lets callers fold fully-decayed shards without branching).
+func (c *Counts) AddScaled(src *Counts, scale float64) error {
+	if src == nil {
+		return fmt.Errorf("core: AddScaled: nil source")
+	}
+	if src.space.Size() != c.space.Size() || len(src.outcomes) != len(c.outcomes) {
+		return fmt.Errorf("core: AddScaled: source shape %dx%d does not match %dx%d",
+			src.space.Size(), len(src.outcomes), c.space.Size(), len(c.outcomes))
+	}
+	if !(scale >= 0) || math.IsInf(scale, 0) {
+		return fmt.Errorf("core: AddScaled: invalid scale %v", scale)
+	}
+	if scale == 0 {
+		return nil
+	}
+	for i, v := range src.n {
+		c.n[i] += v * scale
+	}
+	return nil
+}
+
+// Merge accumulates src into the receiver cell-wise (AddScaled with
+// scale 1): the merge step for windowed streaming buckets and any other
+// same-shape partial tables.
+func (c *Counts) Merge(src *Counts) error { return c.AddScaled(src, 1) }
+
 // Marginalize aggregates counts over the named subset of attributes by
 // summation. Empirical ε of the result realizes the paper's Table 2
 // computation per attribute subset.

@@ -320,3 +320,57 @@ func TestCellsViewAndReset(t *testing.T) {
 		t.Fatal("Reset left nonzero cells")
 	}
 }
+
+func TestAddScaledAndMerge(t *testing.T) {
+	s := binarySpace(t)
+	a := MustCounts(s, []string{"no", "yes"})
+	b := MustCounts(s, []string{"no", "yes"})
+	a.MustAdd(0, 0, 4)
+	a.MustAdd(1, 1, 2)
+	b.MustAdd(0, 0, 1)
+	b.MustAdd(0, 1, 3)
+	if err := a.AddScaled(b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.N(0, 0); got != 4.5 {
+		t.Fatalf("N(0,0) = %v, want 4.5", got)
+	}
+	if got := a.N(0, 1); got != 1.5 {
+		t.Fatalf("N(0,1) = %v, want 1.5", got)
+	}
+	if got := a.N(1, 1); got != 2 {
+		t.Fatalf("N(1,1) = %v, want 2 (untouched)", got)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.N(0, 1); got != 4.5 {
+		t.Fatalf("after Merge N(0,1) = %v, want 4.5", got)
+	}
+	// Scale 0 is an explicit no-op.
+	before := a.N(0, 0)
+	if err := a.AddScaled(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.N(0, 0) != before {
+		t.Fatal("scale 0 mutated the receiver")
+	}
+}
+
+func TestAddScaledValidation(t *testing.T) {
+	s := binarySpace(t)
+	a := MustCounts(s, []string{"no", "yes"})
+	b := MustCounts(s, []string{"no", "yes"})
+	if err := a.AddScaled(nil, 1); err == nil {
+		t.Error("nil source accepted")
+	}
+	for _, scale := range []float64{-1, math.Inf(1), math.NaN()} {
+		if err := a.AddScaled(b, scale); err == nil {
+			t.Errorf("scale %v accepted", scale)
+		}
+	}
+	tiny := MustSpace(Attr{Name: "z", Values: []string{"only", "two", "three"}})
+	if err := a.AddScaled(MustCounts(tiny, []string{"no", "yes"}), 1); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

@@ -192,6 +192,25 @@ func (s *Space) IndexByValues(values map[string]string) (int, error) {
 	return s.Index(idxs...)
 }
 
+// IndexOfValues encodes one value name per attribute, in attribute
+// order, into a group index — the allocation-free positional counterpart
+// of IndexByValues for hot observation paths ("F", "B" instead of
+// {"gender": "F", "race": "B"}).
+func (s *Space) IndexOfValues(values ...string) (int, error) {
+	if len(values) != len(s.attrs) {
+		return 0, fmt.Errorf("core: IndexOfValues got %d values for %d attributes", len(values), len(s.attrs))
+	}
+	idx := 0
+	for i, v := range values {
+		vi := s.attrs[i].ValueIndex(v)
+		if vi < 0 {
+			return 0, fmt.Errorf("core: unknown value %q for attribute %q", v, s.attrs[i].Name)
+		}
+		idx += vi * s.strides[i]
+	}
+	return idx, nil
+}
+
 // Subset returns the space D = S_a × … × S_k over the named attributes,
 // in the given order, together with the positions those attributes occupy
 // in the receiver. It errors if a name is unknown or repeated.

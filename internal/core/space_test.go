@@ -196,3 +196,26 @@ func TestDecodePanicsOutOfRange(t *testing.T) {
 	}()
 	s.Decode(16)
 }
+
+func TestIndexOfValues(t *testing.T) {
+	s := threeAttrSpace(t)
+	got, err := s.IndexOfValues("F", "Black", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.IndexByValues(map[string]string{
+		"gender": "F", "race": "Black", "nationality": "US",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("IndexOfValues = %d, IndexByValues = %d", got, want)
+	}
+	if _, err := s.IndexOfValues("F", "Black"); err == nil {
+		t.Error("short value list accepted")
+	}
+	if _, err := s.IndexOfValues("F", "Martian", "US"); err == nil {
+		t.Error("unknown value accepted")
+	}
+}

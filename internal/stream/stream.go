@@ -1,70 +1,175 @@
 // Package stream supports continuous fairness monitoring of deployed
 // systems — the paper's "critiquing of deployed systems by scholars and
-// activists" use case (Section 1) — with an exponentially-decayed
-// contingency table: recent decisions dominate the ε estimate, so drifts
-// in a mechanism's fairness surface quickly instead of being diluted by
-// history.
+// activists" use case (Section 1) — at production ingest rates.
+//
+// The Monitor is a sharded concurrent contingency table: observations
+// take a ticket from one global atomic counter and land in a per-shard
+// strided count table under a per-shard lock, so concurrent observe
+// streams scale with cores instead of serializing on one mutex.
+// Snapshots merge the shards into a single core.Counts (merge-on-
+// snapshot via Counts.AddScaled / Counts.Merge).
+//
+// Three window policies share the engine behind the Snapshotter
+// interface:
+//
+//   - Exponential{HalfLife}: every prior observation's influence decays
+//     by 2^(-1/HalfLife) per new observation, so recent decisions
+//     dominate the ε estimate and drift surfaces quickly.
+//   - Tumbling{Window}: the table covers only the current fixed-size
+//     window and resets at each window boundary.
+//   - Sliding{Window, Buckets}: the table covers (approximately) the
+//     most recent Window observations, evicted in Window/Buckets-sized
+//     bucket increments.
+//
+// Concurrency semantics: counts for the window policies are plain sums,
+// so after all writers finish, a snapshot is exactly the single-threaded
+// result regardless of interleaving (up to float summation order). For
+// the exponential policy the total effective mass depends only on the
+// number of observations and is likewise exact; the per-cell split
+// additionally depends on which ticket each observation drew, which
+// concurrent ingestion makes nondeterministic within the reorder window
+// of the racing goroutines (a few observations' worth of decay — far
+// below estimation noise for any realistic half-life).
 package stream
 
 import (
+	"errors"
 	"fmt"
-	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// Monitor maintains decayed outcome counts per intersectional group and
-// reports ε on demand.
-//
-// A Monitor is not safe for concurrent use: Observe mutates the counts
-// and Epsilon reuses internal snapshot buffers, so all calls must come
-// from one goroutine (or be externally synchronized).
-type Monitor struct {
-	space    *core.Space
-	outcomes []string
-	// counts are stored pre-scaled in one group-major strided slice
-	// (cell (g, y) at counts[g·|Y|+y], mirroring core.Counts): cell
-	// values are multiplied by the running weight so a single add is
-	// O(1); Snapshot divides by weight.
-	counts []float64
-	weight float64
-	decay  float64
-	seen   int
-	alpha  float64
-	// snap and cpt are lazily-built reusable buffers for Epsilon, so the
-	// per-report path allocates nothing in the steady state.
-	snap *core.Counts
-	cpt  *core.CPT
+// Snapshotter is anything that can materialize its current effective
+// counts into a caller-owned table: the sharded Monitor, the retained
+// LockedMonitor baseline, and any future policy all satisfy it, so
+// ε reporting and auditing are policy-agnostic.
+type Snapshotter interface {
+	// Space returns the protected-attribute space the counts are over.
+	Space() *core.Space
+	// Outcomes returns a copy of the outcome labels.
+	Outcomes() []string
+	// SnapshotInto overwrites dst with the current effective counts.
+	// dst must match the space size and outcome count.
+	SnapshotInto(dst *core.Counts) error
 }
 
-// NewMonitor creates a monitor. halfLife is the number of observations
-// after which an old observation's influence is halved (must be > 0);
-// alpha is the Eq. 7 smoothing applied when reporting ε (0 = empirical).
-func NewMonitor(space *core.Space, outcomes []string, halfLife float64, alpha float64) (*Monitor, error) {
+// EpsilonOf reports the differential-fairness ε of any Snapshotter's
+// current effective counts, using the Eq. 7 smoothed estimator when
+// alpha > 0 and the empirical Eq. 6 estimator otherwise. It allocates
+// fresh buffers per call; Monitor.Epsilon is the buffer-reusing
+// steady-state path.
+func EpsilonOf(s Snapshotter, alpha float64) (core.EpsilonResult, error) {
+	snap, err := core.NewCounts(s.Space(), s.Outcomes())
+	if err != nil {
+		return core.EpsilonResult{}, err
+	}
+	if err := s.SnapshotInto(snap); err != nil {
+		return core.EpsilonResult{}, err
+	}
+	var cpt *core.CPT
+	if alpha > 0 {
+		cpt, err = snap.Smoothed(alpha, false)
+		if err != nil {
+			return core.EpsilonResult{}, err
+		}
+	} else {
+		cpt = snap.Empirical()
+	}
+	return core.Epsilon(cpt)
+}
+
+// Monitor maintains windowed outcome counts per intersectional group and
+// reports ε on demand. It is safe for concurrent use: Observe and
+// ObserveBatch may be called from any number of goroutines while other
+// goroutines call Epsilon, Snapshot or EffectiveCount.
+type Monitor struct {
+	space        *core.Space
+	outcomes     []string
+	outcomeIndex map[string]int
+	alpha        float64
+
+	// ticket orders observations globally: every admitted observation
+	// draws one ticket, windows and decay are defined in ticket time,
+	// and Seen() is the ticket high-water mark. ObserveBatch draws one
+	// ticket range per batch, amortizing the shared-counter traffic.
+	ticket atomic.Int64
+	eng    engine
+
+	// snap and cpt are reusable reporting buffers guarded by repMu, so
+	// steady-state Epsilon calls allocate nothing. Ingestion never takes
+	// repMu; only readers contend on it.
+	repMu sync.Mutex
+	snap  *core.Counts
+	cpt   *core.CPT
+}
+
+// New creates a monitor with the given policy configuration.
+func New(space *core.Space, outcomes []string, cfg Config) (*Monitor, error) {
 	if space == nil {
 		return nil, fmt.Errorf("stream: nil space")
 	}
 	if len(outcomes) < 2 {
 		return nil, fmt.Errorf("stream: need at least two outcomes")
 	}
-	if !(halfLife > 0) || math.IsInf(halfLife, 0) {
-		return nil, fmt.Errorf("stream: half-life must be positive and finite, got %v", halfLife)
+	if cfg.Alpha < 0 {
+		return nil, fmt.Errorf("stream: negative alpha %v", cfg.Alpha)
 	}
-	if alpha < 0 {
-		return nil, fmt.Errorf("stream: negative alpha %v", alpha)
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("stream: nil policy")
+	}
+	if err := cfg.Policy.validate(); err != nil {
+		return nil, err
+	}
+	shards, err := resolveShards(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.NewCounts(space, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	cpt, err := core.NewCPT(space, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cfg.Policy.newEngine(space, outcomes, shards)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int, len(outcomes))
+	for i, o := range outcomes {
+		idx[o] = i
 	}
 	return &Monitor{
-		space:    space,
-		outcomes: append([]string(nil), outcomes...),
-		counts:   make([]float64, space.Size()*len(outcomes)),
-		weight:   1,
-		decay:    math.Exp2(-1 / halfLife),
-		alpha:    alpha,
+		space:        space,
+		outcomes:     append([]string(nil), outcomes...),
+		outcomeIndex: idx,
+		alpha:        cfg.Alpha,
+		eng:          eng,
+		snap:         snap,
+		cpt:          cpt,
 	}, nil
 }
 
-// Observe records one decision. Each prior observation's effective count
-// is multiplied by the decay factor.
+// NewMonitor creates an exponentially-decayed monitor: halfLife is the
+// number of observations after which an old observation's influence is
+// halved (must be > 0); alpha is the Eq. 7 smoothing applied when
+// reporting ε (0 = empirical). It is the historical constructor,
+// equivalent to New with Exponential{HalfLife: halfLife}.
+func NewMonitor(space *core.Space, outcomes []string, halfLife float64, alpha float64) (*Monitor, error) {
+	return New(space, outcomes, Config{Policy: Exponential{HalfLife: halfLife}, Alpha: alpha})
+}
+
+// Space returns the protected-attribute space.
+func (m *Monitor) Space() *core.Space { return m.space }
+
+// Outcomes returns a copy of the outcome labels.
+func (m *Monitor) Outcomes() []string { return append([]string(nil), m.outcomes...) }
+
+// Observe records one decision. It is safe to call concurrently with
+// other Observe/ObserveBatch calls and with readers.
 func (m *Monitor) Observe(group, outcome int) error {
 	if group < 0 || group >= m.space.Size() {
 		return fmt.Errorf("stream: group %d out of range", group)
@@ -72,79 +177,122 @@ func (m *Monitor) Observe(group, outcome int) error {
 	if outcome < 0 || outcome >= len(m.outcomes) {
 		return fmt.Errorf("stream: outcome %d out of range", outcome)
 	}
-	// Incrementing the weight instead of decaying every cell keeps
-	// Observe O(1): current value of one unit is weight/decay^0; older
-	// units were added with smaller weights.
-	m.weight /= m.decay
-	m.counts[group*len(m.outcomes)+outcome] += m.weight
-	m.seen++
-	if m.weight > 1e12 {
-		m.renormalize()
-	}
+	m.eng.ingestOne(m.ticket.Add(1), group, outcome)
 	return nil
 }
 
-// renormalize rescales stored counts so the running weight returns to 1,
-// preserving all ratios.
-func (m *Monitor) renormalize() {
-	inv := 1 / m.weight
-	for i := range m.counts {
-		m.counts[i] *= inv
+// ObserveBatch records len(groups) decisions in one call: the hot
+// ingest path. The whole batch draws a single ticket range (one shared
+// atomic add) and lands in a single shard, amortizing the decay
+// multiply and lock traffic across the batch. Indices are validated
+// up front; an invalid element rejects the entire batch before any
+// state changes.
+func (m *Monitor) ObserveBatch(groups, outcomes []int) error {
+	if len(groups) != len(outcomes) {
+		return fmt.Errorf("stream: ObserveBatch got %d groups vs %d outcomes", len(groups), len(outcomes))
 	}
-	m.weight = 1
+	size := m.space.Size()
+	for i := range groups {
+		if groups[i] < 0 || groups[i] >= size {
+			return fmt.Errorf("stream: batch element %d: group %d out of range", i, groups[i])
+		}
+		if outcomes[i] < 0 || outcomes[i] >= len(m.outcomes) {
+			return fmt.Errorf("stream: batch element %d: outcome %d out of range", i, outcomes[i])
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	n := int64(len(groups))
+	t0 := m.ticket.Add(n) - n
+	m.eng.ingest(t0, groups, outcomes)
+	return nil
+}
+
+// ObserveValues records one decision by attribute value names (in
+// attribute order) and outcome name, so callers don't hand-encode group
+// indices: ObserveValues([]string{"F", "B"}, "deny").
+func (m *Monitor) ObserveValues(values []string, outcome string) error {
+	g, err := m.space.IndexOfValues(values...)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	y, ok := m.outcomeIndex[outcome]
+	if !ok {
+		return fmt.Errorf("stream: unknown outcome %q", outcome)
+	}
+	m.eng.ingestOne(m.ticket.Add(1), g, y)
+	return nil
 }
 
 // Seen returns the number of observations so far.
-func (m *Monitor) Seen() int { return m.seen }
+func (m *Monitor) Seen() int { return int(m.ticket.Load()) }
 
-// EffectiveCount returns the decayed total mass: bounded above by the
-// half-life's equivalent window size 1/(1−decay).
-func (m *Monitor) EffectiveCount() float64 {
-	var sum float64
-	for _, v := range m.counts {
-		sum += v
+// SnapshotInto overwrites dst with the current effective counts, merging
+// every shard with one scaled add. Concurrent ingestion during the merge
+// may land in shards already visited (a snapshot is a near-point-in-time
+// view); once writers are quiescent the snapshot is exact.
+func (m *Monitor) SnapshotInto(dst *core.Counts) error {
+	if dst == nil {
+		return fmt.Errorf("stream: nil snapshot destination")
 	}
-	return sum / m.weight
+	return m.eng.snapshotInto(dst, m.ticket.Load())
 }
 
-// snapshotInto fills dst's cells with the decayed counts in one strided
-// pass.
-func (m *Monitor) snapshotInto(dst *core.Counts) {
-	cells := dst.Cells()
-	inv := 1 / m.weight
-	for i, v := range m.counts {
-		cells[i] = v * inv
-	}
-}
-
-// Snapshot returns the decayed counts as a core.Counts for arbitrary
-// downstream analysis. The result is caller-owned (never the internal
-// reporting buffer).
+// Snapshot returns the effective counts as a caller-owned core.Counts
+// for arbitrary downstream analysis.
 func (m *Monitor) Snapshot() (*core.Counts, error) {
 	out, err := core.NewCounts(m.space, m.outcomes)
 	if err != nil {
 		return nil, err
 	}
-	m.snapshotInto(out)
+	if err := m.SnapshotInto(out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// Epsilon reports the current decayed ε estimate. It reuses internal
-// snapshot and CPT buffers, so repeated reports (e.g. one per observation
-// in Watch.ObserveChecked) do not allocate in the steady state.
-func (m *Monitor) Epsilon() (core.EpsilonResult, error) {
-	if m.snap == nil {
-		snap, err := core.NewCounts(m.space, m.outcomes)
-		if err != nil {
-			return core.EpsilonResult{}, err
-		}
-		cpt, err := core.NewCPT(m.space, m.outcomes)
-		if err != nil {
-			return core.EpsilonResult{}, err
-		}
-		m.snap, m.cpt = snap, cpt
+// EffectiveCount returns the total effective mass: the number of
+// observations in the current window for the windowed policies, and the
+// decayed total (bounded above by 1/(1−2^(−1/halfLife))) for the
+// exponential policy.
+func (m *Monitor) EffectiveCount() float64 {
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	if err := m.eng.snapshotInto(m.snap, m.ticket.Load()); err != nil {
+		return 0 // impossible: the buffer's shape matches by construction
 	}
-	m.snapshotInto(m.snap)
+	return m.snap.Total()
+}
+
+// Epsilon reports the current ε estimate over the effective counts. It
+// reuses internal snapshot and CPT buffers, so repeated reports (e.g.
+// one per observation in Watch.ObserveChecked) do not allocate in the
+// steady state. Concurrent Epsilon calls serialize on the reporting
+// buffers; ingestion is never blocked by reporting.
+func (m *Monitor) Epsilon() (core.EpsilonResult, error) {
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	res, _, err := m.reportLocked()
+	return res, err
+}
+
+// reportLocked snapshots once and returns ε together with the snapshot's
+// total effective mass. repMu must be held.
+func (m *Monitor) reportLocked() (core.EpsilonResult, float64, error) {
+	if err := m.eng.snapshotInto(m.snap, m.ticket.Load()); err != nil {
+		return core.EpsilonResult{}, 0, err
+	}
+	res, err := m.epsilonOfSnapLocked()
+	if err != nil {
+		return core.EpsilonResult{}, 0, err
+	}
+	return res, m.snap.Total(), nil
+}
+
+// epsilonOfSnapLocked converts the already-filled snap buffer to a CPT
+// and measures ε. repMu must be held.
+func (m *Monitor) epsilonOfSnapLocked() (core.EpsilonResult, error) {
 	if m.alpha > 0 {
 		if err := m.snap.SmoothedInto(m.cpt, m.alpha, false); err != nil {
 			return core.EpsilonResult{}, err
@@ -198,13 +346,48 @@ func (w *Watch) ObserveChecked(group, outcome int) (*Alert, error) {
 	if err := w.Observe(group, outcome); err != nil {
 		return nil, err
 	}
-	if w.EffectiveCount() < w.MinEffective {
-		return nil, nil
+	alert, _, err := w.check()
+	return alert, err
+}
+
+// ObserveBatchChecked records a batch of decisions and evaluates the
+// threshold once after the batch — the per-report cost is amortized over
+// the whole batch, matching the service observe path. Alongside the
+// possible alert it returns the effective mass measured by the same
+// snapshot, so service responses don't pay a second shard merge to
+// report it.
+func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, error) {
+	if err := w.ObserveBatch(groups, outcomes); err != nil {
+		return nil, 0, err
 	}
-	res, err := w.Epsilon()
+	return w.check()
+}
+
+// check evaluates the threshold against one fresh snapshot. The
+// MinEffective gate runs on the snapshot total before any estimator
+// work, so a cold-start ObserveChecked loop pays only the shard merge
+// per observation, not the CPT conversion and ε scan.
+func (w *Watch) check() (*Alert, float64, error) {
+	w.repMu.Lock()
+	if err := w.eng.snapshotInto(w.snap, w.ticket.Load()); err != nil {
+		w.repMu.Unlock()
+		return nil, 0, fmt.Errorf("stream: threshold check: %w", err)
+	}
+	effective := w.snap.Total()
+	if effective < w.MinEffective {
+		w.repMu.Unlock()
+		return nil, effective, nil
+	}
+	res, err := w.epsilonOfSnapLocked()
+	w.repMu.Unlock()
 	if err != nil {
-		// Not enough populated groups yet: no alert, not an error.
-		return nil, nil
+		// A degenerate table (fewer than two populated groups yet) has no
+		// pairs to compare: no alert, not an error. Anything else is a
+		// real failure and must reach the caller.
+		if errors.Is(err, core.ErrDegenerateSupport) {
+			return nil, effective, nil
+		}
+		return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
 	}
 	if res.Epsilon > w.Threshold {
 		return &Alert{
@@ -212,7 +395,7 @@ func (w *Watch) ObserveChecked(group, outcome int) (*Alert, error) {
 			Threshold: w.Threshold,
 			Witness:   res.Witness,
 			SeenAt:    w.Seen(),
-		}, nil
+		}, effective, nil
 	}
-	return nil, nil
+	return nil, effective, nil
 }

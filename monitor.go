@@ -7,16 +7,19 @@ import (
 	"repro/internal/stream"
 )
 
-// Monitor is the public face of the streaming fairness monitor: an
-// exponentially-decayed contingency table whose ε estimate tracks a
+// Monitor is the public face of the streaming fairness monitor: a
+// sharded concurrent contingency table whose ε estimate tracks a
 // deployed system's recent decisions (the paper's "critiquing deployed
-// systems" use case, §1). Observe records decisions in O(1); Epsilon
-// reports the decayed estimate without allocating in the steady state;
-// Audit snapshots the decayed table and runs the full Auditor pipeline
-// over it.
+// systems" use case, §1). Observe and ObserveBatch record decisions from
+// any number of goroutines — ingestion scales with cores because each
+// observation lands in one of several independently-locked shards —
+// while Epsilon, Snapshot and Audit merge the shards into a consistent
+// view on demand.
 //
-// A Monitor is not safe for concurrent use: all calls must come from one
-// goroutine or be externally synchronized.
+// Three window policies share the engine: exponential decay
+// (NewMonitor), a tumbling window (NewTumblingMonitor) and a bucketed
+// sliding window (NewSlidingMonitor). All report through the same
+// surface, so a Watch or an Audit works over any of them.
 type Monitor struct {
 	inner    *stream.Monitor
 	space    *Space
@@ -24,12 +27,34 @@ type Monitor struct {
 	alpha    float64
 }
 
-// NewMonitor creates a streaming monitor. halfLife is the number of
-// observations after which an old observation's influence is halved
-// (must be > 0); alpha is the Eq. 7 smoothing applied when reporting ε
-// (0 = empirical), and doubles as the default estimator for Audit.
+// NewMonitor creates an exponentially-decayed streaming monitor.
+// halfLife is the number of observations after which an old
+// observation's influence is halved (must be > 0); alpha is the Eq. 7
+// smoothing applied when reporting ε (0 = empirical), and doubles as the
+// default estimator for Audit.
 func NewMonitor(space *Space, outcomes []string, halfLife, alpha float64) (*Monitor, error) {
-	inner, err := stream.NewMonitor(space, outcomes, halfLife, alpha)
+	return newMonitor(space, outcomes, stream.Exponential{HalfLife: halfLife}, alpha)
+}
+
+// NewTumblingMonitor creates a monitor covering only the current window
+// of `window` observations; the table resets at each window boundary.
+// Window counts are integral, so WithBootstrap applies to Audit
+// snapshots of this monitor.
+func NewTumblingMonitor(space *Space, outcomes []string, window int, alpha float64) (*Monitor, error) {
+	return newMonitor(space, outcomes, stream.Tumbling{Window: window}, alpha)
+}
+
+// NewSlidingMonitor creates a monitor covering approximately the most
+// recent `window` observations, evicted in window/buckets-sized
+// increments (buckets must be ≥ 2 and divide window). Smaller bucket
+// spans track drift at finer granularity for proportionally more
+// memory.
+func NewSlidingMonitor(space *Space, outcomes []string, window, buckets int, alpha float64) (*Monitor, error) {
+	return newMonitor(space, outcomes, stream.Sliding{Window: window, Buckets: buckets}, alpha)
+}
+
+func newMonitor(space *Space, outcomes []string, policy stream.Policy, alpha float64) (*Monitor, error) {
+	inner, err := stream.New(space, outcomes, stream.Config{Policy: policy, Alpha: alpha})
 	if err != nil {
 		return nil, err
 	}
@@ -41,29 +66,56 @@ func NewMonitor(space *Space, outcomes []string, halfLife, alpha float64) (*Moni
 	}, nil
 }
 
-// Observe records one decision; each prior observation's effective count
-// decays by the configured half-life.
+// Space returns the protected-attribute space the monitor is over.
+func (m *Monitor) Space() *Space { return m.space }
+
+// Outcomes returns a copy of the outcome labels.
+func (m *Monitor) Outcomes() []string { return append([]string(nil), m.outcomes...) }
+
+// Observe records one decision. Safe for concurrent use.
 func (m *Monitor) Observe(group, outcome int) error { return m.inner.Observe(group, outcome) }
+
+// ObserveBatch records len(groups) decisions in one call — the hot
+// ingest path. The batch draws a single ticket range and lands in a
+// single shard, amortizing lock and decay work; an invalid element
+// rejects the whole batch before any state changes. Safe for concurrent
+// use.
+func (m *Monitor) ObserveBatch(groups, outcomes []int) error {
+	return m.inner.ObserveBatch(groups, outcomes)
+}
+
+// ObserveValues records one decision by attribute value names (in
+// attribute order) and outcome name, so callers don't hand-encode group
+// indices: ObserveValues([]string{"F", "B"}, "deny").
+func (m *Monitor) ObserveValues(values []string, outcome string) error {
+	return m.inner.ObserveValues(values, outcome)
+}
 
 // Seen returns the number of observations so far.
 func (m *Monitor) Seen() int { return m.inner.Seen() }
 
-// EffectiveCount returns the decayed total mass (bounded above by the
-// half-life's equivalent window size).
+// EffectiveCount returns the total effective mass: the number of
+// observations in the current window for windowed policies, or the
+// decayed total (bounded above by the half-life's equivalent window
+// size) for exponential decay.
 func (m *Monitor) EffectiveCount() float64 { return m.inner.EffectiveCount() }
 
-// Epsilon reports the current decayed ε estimate.
+// Epsilon reports the current ε estimate over the effective counts.
 func (m *Monitor) Epsilon() (EpsilonResult, error) { return m.inner.Epsilon() }
 
-// Snapshot returns the decayed counts as a caller-owned Counts.
+// Snapshot returns the effective counts as a caller-owned Counts.
 func (m *Monitor) Snapshot() (*Counts, error) { return m.inner.Snapshot() }
+
+// SnapshotInto overwrites dst with the current effective counts without
+// allocating; dst must match the monitor's space and outcomes.
+func (m *Monitor) SnapshotInto(dst *Counts) error { return m.inner.SnapshotInto(dst) }
 
 // Alert describes a threshold crossing reported by a Watch.
 type Alert = stream.Alert
 
 // Watch wraps a Monitor with a threshold: ObserveChecked returns a
 // non-nil Alert whenever the running ε estimate exceeds the threshold
-// and at least minEffective decayed mass has accumulated (avoiding
+// and at least minEffective effective mass has accumulated (avoiding
 // cold-start noise). The embedded Monitor remains fully usable,
 // including Audit.
 type Watch struct {
@@ -84,19 +136,36 @@ func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
 	return &Watch{Monitor: m, inner: inner}, nil
 }
 
-// ObserveChecked records a decision and evaluates the threshold.
+// ObserveChecked records a decision and evaluates the threshold. A table
+// with fewer than two populated groups yields no alert (and no error);
+// any other reporting failure propagates.
 func (w *Watch) ObserveChecked(group, outcome int) (*Alert, error) {
 	return w.inner.ObserveChecked(group, outcome)
 }
 
-// Audit snapshots the decayed counts and runs the full audit pipeline
+// ObserveBatchChecked records a batch of decisions and evaluates the
+// threshold once after the batch, amortizing the report cost — the
+// service observe path. The second return is the effective mass measured
+// by the same snapshot, saving callers a separate EffectiveCount merge.
+func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, error) {
+	return w.inner.ObserveBatchChecked(groups, outcomes)
+}
+
+// MonitorShards returns the per-monitor ingest shard count this
+// package's constructors use: a machine-sized default (about twice
+// GOMAXPROCS). A monitor's memory is roughly shards × groups × outcomes
+// (× buckets for sliding windows) float64 cells.
+func MonitorShards() int { return stream.DefaultShards() }
+
+// Audit snapshots the effective counts and runs the full audit pipeline
 // over them, producing the same versioned Report as Auditor.Run. The
 // monitor's smoothing alpha is applied by default; additional options
 // are appended and may override it.
 //
-// Decayed counts are non-integral, so WithBootstrap is not applicable to
-// a monitor snapshot (the bootstrap requires integer counts and will
-// reject it); use WithCredible for uncertainty over streaming estimates.
+// Exponentially-decayed counts are non-integral, so WithBootstrap is not
+// applicable to those snapshots (the bootstrap requires integer counts
+// and will reject it) — use WithCredible there. Tumbling and sliding
+// windows hold integral counts, and the bootstrap applies.
 func (m *Monitor) Audit(ctx context.Context, opts ...Option) (*Report, error) {
 	snap, err := m.inner.Snapshot()
 	if err != nil {
