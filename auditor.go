@@ -33,17 +33,69 @@ type auditConfig struct {
 // Option configures an Auditor. Options are applied in order by
 // NewAuditor and report invalid arguments immediately (the descriptive
 // error surfaces from NewAuditor, not from deep inside a Run).
-type Option func(*auditConfig) error
+//
+// Option is an interface rather than a function type so that the
+// settings shared between the package's subsystems — WithAlpha,
+// WithSeed, WithWorkers — can be passed to both NewAuditor and
+// NewRepairer without duplicate constructors: those return a
+// SharedOption, which satisfies Option and RepairOption alike.
+type Option interface {
+	applyAudit(*auditConfig) error
+}
+
+// auditOption adapts a plain configuration function to the Option
+// interface; every auditor-only option is one of these.
+type auditOption func(*auditConfig) error
+
+func (f auditOption) applyAudit(c *auditConfig) error { return f(c) }
+
+// SharedOption is a configuration setting understood by every subsystem
+// that accepts it: it satisfies both Option (NewAuditor) and
+// RepairOption (NewRepairer). WithAlpha, WithSeed and WithWorkers return
+// SharedOptions, so one option vocabulary configures the whole package.
+type SharedOption struct {
+	audit  func(*auditConfig) error
+	repair func(*repairConfig) error
+}
+
+func (o SharedOption) applyAudit(c *auditConfig) error {
+	if o.audit == nil {
+		return fmt.Errorf("fairness: zero SharedOption; use WithAlpha/WithSeed/WithWorkers")
+	}
+	return o.audit(c)
+}
+
+func (o SharedOption) applyRepair(c *repairConfig) error {
+	if o.repair == nil {
+		return fmt.Errorf("fairness: zero SharedOption; use WithAlpha/WithSeed/WithWorkers")
+	}
+	return o.repair(c)
+}
 
 // WithAlpha selects the estimator: 0 for the empirical Eq. 6 estimator,
 // alpha > 0 for the Dirichlet-smoothed Eq. 7 estimator.
-func WithAlpha(alpha float64) Option {
-	return func(c *auditConfig) error {
+func WithAlpha(alpha float64) SharedOption {
+	check := func() error {
 		if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
 			return fmt.Errorf("fairness: WithAlpha(%v): alpha must be finite and >= 0", alpha)
 		}
-		c.alpha = alpha
 		return nil
+	}
+	return SharedOption{
+		audit: func(c *auditConfig) error {
+			if err := check(); err != nil {
+				return err
+			}
+			c.alpha = alpha
+			return nil
+		},
+		repair: func(c *repairConfig) error {
+			if err := check(); err != nil {
+				return err
+			}
+			c.alpha = alpha
+			return nil
+		},
 	}
 }
 
@@ -51,13 +103,13 @@ func WithAlpha(alpha float64) Option {
 // attributes is audited (the paper's Table 2 ladder; the default) or
 // only the full intersection.
 func WithSubsets(on bool) Option {
-	return func(c *auditConfig) error { c.subsets = on; return nil }
+	return auditOption(func(c *auditConfig) error { c.subsets = on; return nil })
 }
 
 // WithSimpsonScan controls Simpson's-paradox reversal scanning. The scan
 // applies only to two-attribute spaces and is on by default.
 func WithSimpsonScan(on bool) Option {
-	return func(c *auditConfig) error { c.simpson = on; return nil }
+	return auditOption(func(c *auditConfig) error { c.simpson = on; return nil })
 }
 
 // WithBootstrap requests a percentile bootstrap confidence interval for
@@ -66,7 +118,7 @@ func WithSimpsonScan(on bool) Option {
 // out-of-range level is rejected here rather than producing nonsense
 // quantiles downstream.
 func WithBootstrap(b int, level float64) Option {
-	return func(c *auditConfig) error {
+	return auditOption(func(c *auditConfig) error {
 		if b <= 0 {
 			return fmt.Errorf("fairness: WithBootstrap(%d, %v): need at least one replicate", b, level)
 		}
@@ -76,7 +128,7 @@ func WithBootstrap(b int, level float64) Option {
 		c.bootstrapB = b
 		c.bootstrapLevel = level
 		return nil
-	}
+	})
 }
 
 // WithCredible requests a Bayesian credible interval for ε from b
@@ -84,7 +136,7 @@ func WithBootstrap(b int, level float64) Option {
 // prior pseudo-count priorAlpha > 0, at the given credible level in
 // (0, 1).
 func WithCredible(b int, priorAlpha, level float64) Option {
-	return func(c *auditConfig) error {
+	return auditOption(func(c *auditConfig) error {
 		if b <= 0 {
 			return fmt.Errorf("fairness: WithCredible(%d, %v, %v): need at least one sample", b, priorAlpha, level)
 		}
@@ -98,40 +150,60 @@ func WithCredible(b int, priorAlpha, level float64) Option {
 		c.credibleAlpha = priorAlpha
 		c.credibleLevel = level
 		return nil
-	}
+	})
 }
 
 // WithRepairTarget requests a minimal-movement repair plan to the target
 // ε > 0. The plan is only produced for binary outcomes; on other
 // outcome counts the section is omitted.
 func WithRepairTarget(eps float64) Option {
-	return func(c *auditConfig) error {
+	return auditOption(func(c *auditConfig) error {
 		if !(eps > 0) || math.IsInf(eps, 0) {
 			return fmt.Errorf("fairness: WithRepairTarget(%v): target epsilon must be positive and finite", eps)
 		}
 		c.repairTarget = eps
 		return nil
+	})
+}
+
+// WithSeed sets the seed driving the stochastic machinery: bootstrap
+// resampling and posterior sampling for an Auditor, decision
+// randomization for a Repairer's plans. Outputs are deterministic in
+// (inputs, options, seed) regardless of GOMAXPROCS. The default seed
+// is 1.
+func WithSeed(seed uint64) SharedOption {
+	return SharedOption{
+		audit:  func(c *auditConfig) error { c.seed = seed; return nil },
+		repair: func(c *repairConfig) error { c.seed = seed; return nil },
 	}
 }
 
-// WithSeed sets the seed driving bootstrap resampling and posterior
-// sampling. Reports are deterministic in (inputs, options, seed)
-// regardless of GOMAXPROCS. The default seed is 1.
-func WithSeed(seed uint64) Option {
-	return func(c *auditConfig) error { c.seed = seed; return nil }
-}
-
-// WithWorkers caps the worker-pool size used by the bootstrap and
-// posterior fan-outs; 0 (the default) means one worker per CPU. A
-// service handling concurrent audits can use this to bound each
-// request's share of the machine.
-func WithWorkers(n int) Option {
-	return func(c *auditConfig) error {
+// WithWorkers caps the worker-pool size used by the parallel fan-outs
+// (bootstrap/posterior resampling, the repair subset ladder); 0 (the
+// default) means one worker per CPU. A service handling concurrent
+// requests can use this to bound each request's share of the machine.
+func WithWorkers(n int) SharedOption {
+	check := func() error {
 		if n < 0 {
 			return fmt.Errorf("fairness: WithWorkers(%d): worker count must be >= 0", n)
 		}
-		c.workers = n
 		return nil
+	}
+	return SharedOption{
+		audit: func(c *auditConfig) error {
+			if err := check(); err != nil {
+				return err
+			}
+			c.workers = n
+			return nil
+		},
+		repair: func(c *repairConfig) error {
+			if err := check(); err != nil {
+				return err
+			}
+			c.workers = n
+			return nil
+		},
 	}
 }
 
@@ -143,13 +215,13 @@ func WithWorkers(n int) Option {
 // caller that keeps mutating lc afterwards does not affect (or race
 // with) later Run calls.
 func WithEqualizedOdds(lc *LabeledCounts) Option {
-	return func(c *auditConfig) error {
+	return auditOption(func(c *auditConfig) error {
 		if lc == nil {
 			return fmt.Errorf("fairness: WithEqualizedOdds(nil)")
 		}
 		c.eqOdds = lc.Clone()
 		return nil
-	}
+	})
 }
 
 // Auditor is the front door of the package: a reusable, concurrency-safe
@@ -186,7 +258,7 @@ func NewAuditor(space *Space, outcomes []string, opts ...Option) (*Auditor, erro
 		if opt == nil {
 			return nil, fmt.Errorf("fairness: NewAuditor: nil option")
 		}
-		if err := opt(&cfg); err != nil {
+		if err := opt.applyAudit(&cfg); err != nil {
 			return nil, err
 		}
 	}

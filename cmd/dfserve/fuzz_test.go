@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzServeDecide drives arbitrary bodies at the decide endpoint of a
+// monitor with an installed plan: malformed input must always produce a
+// 4xx, never a 5xx (the gateway cannot crash or blame itself for
+// client garbage), and every 200 must carry a structurally valid
+// response. The seed corpus runs as a regression suite under plain
+// `go test`; `go test -fuzz FuzzServeDecide` explores.
+func FuzzServeDecide(f *testing.F) {
+	mux := newMux(serverConfig{workers: 1, maxBody: 1 << 20})
+	serve := func(method, path string, body []byte) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		mux.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := serve(http.MethodPut, "/v1/monitors/fz",
+		[]byte(`{"space": [{"name": "g", "values": ["a", "b"]}], "outcomes": ["no", "yes"],
+			"window": {"size": 100000}, "threshold": 0.9, "min_effective": 4}`)); rec.Code != http.StatusCreated {
+		f.Fatalf("monitor setup: %d %s", rec.Code, rec.Body)
+	}
+	if rec := serve(http.MethodPost, "/v1/monitors/fz/observe",
+		[]byte(`{"groups": [0,0,0,0,1,1,1,1], "outcomes": [1,1,1,0,0,0,0,1]}`)); rec.Code != http.StatusOK {
+		f.Fatalf("observe setup: %d %s", rec.Code, rec.Body)
+	}
+	if rec := serve(http.MethodPost, "/v1/monitors/fz/repair",
+		[]byte(`{"target_epsilon": 0.5, "auto_refresh": true, "seed": 1}`)); rec.Code != http.StatusOK {
+		f.Fatalf("repair setup: %d %s", rec.Code, rec.Body)
+	}
+
+	f.Add([]byte(`{"groups": [0, 1], "decisions": [1, 0]}`))
+	f.Add([]byte(`{"groups": [0], "decisions": [1, 0]}`))
+	f.Add([]byte(`{"groups": [], "decisions": []}`))
+	f.Add([]byte(`{"groups": [99], "decisions": [1]}`))
+	f.Add([]byte(`{"groups": [-1], "decisions": [0]}`))
+	f.Add([]byte(`{"groups": [0], "decisions": [7]}`))
+	f.Add([]byte(`{"groups": [0], "decisions": [1], "extra": true}`))
+	f.Add([]byte(`{"groups": [0`))
+	f.Add([]byte(`"a string"`))
+	f.Add([]byte(`{"groups": [0.5], "decisions": [1]}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rec := serve(http.MethodPost, "/v1/monitors/fz/decide", raw)
+		if rec.Code >= 500 {
+			t.Fatalf("decide returned %d on %q: %s", rec.Code, raw, rec.Body)
+		}
+		switch {
+		case rec.Code == http.StatusOK:
+			var resp decideResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("invalid 200 response on %q: %v", raw, err)
+			}
+			if len(resp.Decisions) != resp.Observed || resp.PlanVersion < 1 {
+				t.Fatalf("inconsistent 200 response on %q: %+v", raw, resp)
+			}
+			for _, d := range resp.Decisions {
+				if d != 0 && d != 1 {
+					t.Fatalf("non-binary served decision %d on %q", d, raw)
+				}
+			}
+		case rec.Code >= 400:
+			var e map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Fatalf("4xx without an error body on %q: %s", raw, rec.Body)
+			}
+		}
+	})
+}

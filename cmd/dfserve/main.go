@@ -8,12 +8,16 @@
 // Endpoints:
 //
 //	POST   /v1/audit                  — audit one dataset (JSON in, Report JSON out)
+//	POST   /v1/repair                 — repair plan for one dataset (counts in, RepairPlan out)
 //	PUT    /v1/monitors/{id}          — create/replace a named streaming monitor
 //	GET    /v1/monitors               — list monitors
 //	GET    /v1/monitors/{id}          — one monitor's config and counters
 //	DELETE /v1/monitors/{id}          — remove a monitor
 //	POST   /v1/monitors/{id}/observe  — ingest a batch of decisions (hot path)
 //	GET    /v1/monitors/{id}/report   — full versioned Report from a live snapshot
+//	                                    (?stream=served for the post-repair stream)
+//	POST   /v1/monitors/{id}/repair   — compute + install a plan from the live window
+//	POST   /v1/monitors/{id}/decide   — apply the installed plan to a decision batch
 //	GET    /healthz                   — liveness probe
 //
 // Stateless audits get a per-request Auditor over the shared worker-pool
@@ -21,7 +25,13 @@
 // bootstrap/posterior fan-outs, so a disconnected or timed-out client
 // cancels its in-flight resampling promptly. Monitors are long-lived and
 // internally sharded, so concurrent observe streams against one monitor
-// scale with cores. SIGINT/SIGTERM triggers a graceful drain: in-flight
+// scale with cores. The repair/decide pair closes the monitoring loop:
+// a monitor that detects an ε breach feeds its window to a Repairer, and
+// the resulting plan post-processes live decision batches (raw
+// proposals keep feeding the monitor so plans stay calibrated; served
+// decisions feed a shadow stream whose report proves the output meets
+// the target; with auto_refresh, an alert mid-serving recomputes the
+// plan in place). SIGINT/SIGTERM triggers a graceful drain: in-flight
 // requests finish (up to -drain), new connections are refused.
 //
 // Usage:
@@ -58,7 +68,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
 	maxResamples := flag.Int("max-resamples", 100_000, "maximum bootstrap replicates / posterior samples per request")
 	maxMonitors := flag.Int("max-monitors", 1024, "maximum registered monitors")
-	maxMonitorCells := flag.Int("max-monitor-cells", 1<<20, "maximum stored cells per monitor: groups × outcomes × ingest shards (× buckets for sliding windows)")
+	maxMonitorCells := flag.Int("max-monitor-cells", 1<<20, "maximum stored cells per monitor stream: groups × outcomes × ingest shards (× buckets for sliding windows); a monitor with an installed repair plan stores two streams (raw + served)")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "per-response write deadline")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
@@ -125,6 +135,9 @@ func newMux(cfg serverConfig) *http.ServeMux {
 	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
 		handleAudit(w, r, cfg)
 	})
+	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
+		handleRepair(w, r, cfg)
+	})
 	reg := newRegistry(cfg)
 	mux.HandleFunc("PUT /v1/monitors/{id}", reg.handlePut)
 	mux.HandleFunc("GET /v1/monitors", reg.handleList)
@@ -132,6 +145,8 @@ func newMux(cfg serverConfig) *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/monitors/{id}", reg.handleDelete)
 	mux.HandleFunc("POST /v1/monitors/{id}/observe", reg.handleObserve)
 	mux.HandleFunc("GET /v1/monitors/{id}/report", reg.handleReport)
+	mux.HandleFunc("POST /v1/monitors/{id}/repair", reg.handleMonitorRepair)
+	mux.HandleFunc("POST /v1/monitors/{id}/decide", reg.handleDecide)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)

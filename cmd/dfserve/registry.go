@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	fairness "repro"
 )
@@ -31,13 +32,32 @@ func newRegistry(cfg serverConfig) *registry {
 }
 
 // monitorEntry binds one configured monitor to its (optional) threshold
-// watch. The entry is immutable after creation — a PUT replaces the
-// whole entry — so handlers touch it without the registry lock.
+// watch and its (optional) installed repair plan. The configuration is
+// immutable after creation — a PUT replaces the whole entry — so
+// handlers touch it without the registry lock; only the live repair
+// plan mutates, behind its own atomic pointer (decide hot path) and
+// refresh mutex (plan recomputation).
 type monitorEntry struct {
 	id    string
 	cfg   monitorSpec
 	mon   *fairness.Monitor
 	watch *fairness.Watch // non-nil iff cfg.Threshold > 0
+
+	// live is the currently-installed repair plan applied by
+	// POST .../decide; nil until POST .../repair installs one. Replacing
+	// the entry (PUT) discards it along with the monitor state.
+	live atomic.Pointer[livePlan]
+	// served is the shadow monitor recording the decisions the gateway
+	// actually served (post-repair), created when the first plan is
+	// installed. The main monitor keeps recording the raw proposed
+	// decisions — plans must be calibrated against the mechanism's true
+	// rates, or a refresh computed from already-repaired data would
+	// systematically under-correct — while the served stream proves what
+	// went out the door meets the target (/report?stream=served).
+	served atomic.Pointer[fairness.Monitor]
+	// refreshMu serializes plan recomputation so one alert storm
+	// produces one refreshed plan, not a thundering herd of them.
+	refreshMu sync.Mutex
 }
 
 // monitorSpec is the PUT /v1/monitors/{id} body: the space and outcome
@@ -241,10 +261,15 @@ type monitorStats struct {
 	MinEffective   float64 `json:"min_effective,omitempty"`
 	Seen           int     `json:"seen"`
 	EffectiveCount float64 `json:"effective_count"`
+	// PlanVersion is the installed repair plan's version (0 = none);
+	// ServedSeen counts decisions recorded on the served (post-repair)
+	// stream.
+	PlanVersion int `json:"plan_version,omitempty"`
+	ServedSeen  int `json:"served_seen,omitempty"`
 }
 
 func (e *monitorEntry) stats() monitorStats {
-	return monitorStats{
+	s := monitorStats{
 		ID:             e.id,
 		Policy:         e.cfg.policyLabel(),
 		Alpha:          e.cfg.Alpha,
@@ -253,6 +278,13 @@ func (e *monitorEntry) stats() monitorStats {
 		Seen:           e.mon.Seen(),
 		EffectiveCount: e.mon.EffectiveCount(),
 	}
+	if lp := e.live.Load(); lp != nil {
+		s.PlanVersion = lp.version
+	}
+	if sv := e.served.Load(); sv != nil {
+		s.ServedSeen = sv.Seen()
+	}
+	return s
 }
 
 // observeRequest is the POST /v1/monitors/{id}/observe body: either
@@ -333,18 +365,25 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 		Seen:           e.mon.Seen(),
 		EffectiveCount: effective,
 	}
-	if alert != nil {
-		space := e.mon.Space()
-		resp.Alert = &alertReport{
-			Epsilon:      fairness.JSONFloat(alert.Epsilon),
-			Threshold:    alert.Threshold,
-			Outcome:      e.cfg.Outcomes[alert.Witness.Outcome],
-			MostFavored:  space.Label(alert.Witness.GroupHi),
-			LeastFavored: space.Label(alert.Witness.GroupLo),
-			SeenAt:       alert.SeenAt,
-		}
-	}
+	resp.Alert = e.alertReport(alert)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// alertReport renders a threshold crossing with human-readable labels;
+// nil in, nil out, so handlers can assign unconditionally.
+func (e *monitorEntry) alertReport(alert *fairness.Alert) *alertReport {
+	if alert == nil {
+		return nil
+	}
+	space := e.mon.Space()
+	return &alertReport{
+		Epsilon:      fairness.JSONFloat(alert.Epsilon),
+		Threshold:    alert.Threshold,
+		Outcome:      e.cfg.Outcomes[alert.Witness.Outcome],
+		MostFavored:  space.Label(alert.Witness.GroupHi),
+		LeastFavored: space.Label(alert.Witness.GroupLo),
+		SeenAt:       alert.SeenAt,
+	}
 }
 
 // encode lowers the request's observations onto group/outcome indices.
@@ -390,11 +429,28 @@ func (e *monitorEntry) encode(body *observeRequest) ([]int, []int, error) {
 // over it, returning the same versioned Report as POST /v1/audit. Query
 // parameters request optional sections: bootstrap=N (window policies
 // only — exponential snapshots are non-integral), credible=N,
-// prior_alpha, level, seed, subsets=false.
+// prior_alpha, level, seed, subsets=false. stream=served audits the
+// post-repair served stream instead of the raw proposed decisions.
 func (r *registry) handleReport(w http.ResponseWriter, req *http.Request) {
 	e, ok := r.lookup(req.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
+		return
+	}
+	mon := e.mon
+	switch req.URL.Query().Get("stream") {
+	case "", "raw":
+	case "served":
+		sv := e.served.Load()
+		if sv == nil {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("monitor %q has no served stream; install a repair plan and serve /decide batches first", e.id))
+			return
+		}
+		mon = sv
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("stream must be %q or %q", "raw", "served"))
 		return
 	}
 	opts, err := reportOptions(req, r.cfg)
@@ -410,7 +466,7 @@ func (r *registry) handleReport(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	report, err := e.mon.Audit(req.Context(), opts...)
+	report, err := mon.Audit(req.Context(), opts...)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):

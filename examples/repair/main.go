@@ -1,8 +1,11 @@
-// Repair demonstrates enforcing a target differential fairness by
-// altering the mechanism (the paper's §3.2 recommendation) instead of
-// noising it: the Figure 2 hiring mechanism is post-processed to
-// ε = 0.5 with the minimum expected fraction of changed decisions, and
-// the result is contrasted with the Laplace-noise route at equal ε.
+// Repair demonstrates closed-loop repair on the public API: a streaming
+// Monitor watches a deployed mechanism drift over its ε threshold, a
+// Repairer computes the minimal-movement plan from the live window (the
+// paper's §3.2 "alter the mechanism" recommendation), and the compiled
+// Applier post-processes the decision stream — deterministically, with
+// per-decision (seed, ticket) randomization. The guarded variant shows
+// the "fair without leveling down" trade-off, and the Laplace-noise
+// route is contrasted at equal ε.
 //
 //	go run ./examples/repair
 package main
@@ -15,22 +18,66 @@ import (
 	fairness "repro"
 	"repro/internal/core"
 	"repro/internal/mechanism"
-	"repro/internal/repair"
+	"repro/internal/rng"
 )
 
 func main() {
+	// The Figure 2 hiring mechanism: two groups, scores N(10,1) vs
+	// N(12,1), hired above a hard threshold of 10.5.
 	cpt := mechanism.Fig2CPT()
+	space := cpt.Space()
+	outcomes := cpt.Outcomes()
 	before := fairness.MustEpsilon(cpt)
 	fmt.Printf("Figure 2 mechanism: eps = %.3f\n", before.Epsilon)
 	fmt.Printf("  P(hire | group 1) = %.4f, P(hire | group 2) = %.4f\n\n",
 		cpt.Prob(0, 1), cpt.Prob(1, 1))
 
-	const target = 0.5
-	plan, err := repair.Binary(cpt, target)
+	// A sliding-window monitor with an armed watch plays the deployed
+	// system: stream the mechanism's decisions until the alert fires.
+	mon, err := fairness.NewSlidingMonitor(space, outcomes, 20000, 10, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("minimal-movement repair to eps = %.1f:\n", target)
+	watch, err := fairness.NewWatch(mon, 0.5, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(7)
+	var alert *fairness.Alert
+	groups := make([]int, 512)
+	decisions := make([]int, 512)
+	for batch := 0; alert == nil && batch < 64; batch++ {
+		for i := range groups {
+			groups[i] = r.Intn(2)
+			decisions[i] = 0
+			if r.Float64() < cpt.Prob(groups[i], 1) {
+				decisions[i] = 1
+			}
+		}
+		alert, _, err = watch.ObserveBatchChecked(groups, decisions)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if alert == nil {
+		log.Fatal("watch never fired")
+	}
+	fmt.Printf("monitor alert after %d decisions: eps %.3f > threshold %.1f\n\n",
+		alert.SeenAt, alert.Epsilon, alert.Threshold)
+
+	// Close the loop: compute the minimal-movement plan from the live
+	// window and compile it for the serving path.
+	const target = 0.5
+	rep, err := fairness.NewRepairer(space, outcomes,
+		fairness.WithTargetEpsilon(target), fairness.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := rep.PlanMonitor(mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal-movement repair to eps = %.1f (from the live window):\n", target)
 	for _, gp := range plan.Groups {
 		action := "unchanged"
 		switch {
@@ -39,21 +86,67 @@ func main() {
 		case gp.FlipNegToPos > 0:
 			action = fmt.Sprintf("flip rejections to hires w.p. %.3f", gp.FlipNegToPos)
 		}
-		fmt.Printf("  group %d: rate %.4f -> %.4f  (%s)\n", gp.Group+1, gp.OldRate, gp.NewRate, action)
+		fmt.Printf("  %-8s rate %.4f -> %.4f  (%s)\n", gp.Group, gp.OldRate, gp.NewRate, action)
 	}
-	fmt.Printf("  expected decisions changed: %.2f%%\n\n", 100*plan.Movement)
+	fmt.Printf("  achieved eps %.4f, expected decisions changed %.2f%%\n\n",
+		float64(plan.AchievedEpsilon), 100*plan.Movement)
 
-	repaired, err := plan.Apply(cpt)
+	// Serve a stream through the compiled applier and verify the
+	// realized rates empirically.
+	app, err := plan.Applier()
 	if err != nil {
 		log.Fatal(err)
 	}
-	after := fairness.MustEpsilon(repaired)
-	fmt.Printf("verified: repaired eps = %.4f (target %.1f)\n\n", after.Epsilon, target)
+	const n = 200000
+	servedPos := make([]float64, 2)
+	servedTot := make([]float64, 2)
+	sg := make([]int, n)
+	sd := make([]int, n)
+	for i := range sg {
+		sg[i] = r.Intn(2)
+		if r.Float64() < cpt.Prob(sg[i], 1) {
+			sd[i] = 1
+		} else {
+			sd[i] = 0
+		}
+	}
+	changed, err := app.Apply(sg, sd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range sg {
+		servedTot[sg[i]]++
+		servedPos[sg[i]] += float64(sd[i])
+	}
+	served := fairness.MustCPT(space, outcomes)
+	for g := 0; g < 2; g++ {
+		rate := servedPos[g] / servedTot[g]
+		served.MustSetRow(g, servedTot[g], 1-rate, rate)
+	}
+	fmt.Printf("served %d decisions through the plan (%.2f%% changed): realized eps = %.4f\n\n",
+		n, 100*float64(changed)/n, fairness.MustEpsilon(served).Epsilon)
+
+	// The guarded variant never lowers a group's rate: group 2 keeps
+	// every hire, group 1 is raised further — more movement, no
+	// leveling down.
+	guarded, err := fairness.NewRepairer(space, outcomes,
+		fairness.WithTargetEpsilon(target), fairness.WithLevelingDownGuard(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gplan, err := guarded.PlanMonitor(mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with the leveling-down guard (no group loses hires):\n")
+	for _, gp := range gplan.Groups {
+		fmt.Printf("  %-8s rate %.4f -> %.4f\n", gp.Group, gp.OldRate, gp.NewRate)
+	}
+	fmt.Printf("  movement %.2f%% (vs %.2f%% unconstrained), leveling down: %.4f\n\n",
+		100*gplan.Movement, 100*plan.Movement, gplan.LevelingDown)
 
 	// The alternative the paper warns against: reach the same eps with
-	// additive Laplace noise, and compare what each route costs the
-	// QUALIFIED group (group 2, scores N(12,1)).
-	space := core.MustSpace(core.Attr{Name: "group", Values: []string{"1", "2"}})
+	// additive Laplace noise, and compare what each route costs.
 	scores, err := mechanism.NewGaussianScores([]float64{10, 12}, []float64{1, 1})
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +160,7 @@ func main() {
 	noiseChanged := noiseDisagreement(noiseScale)
 	fmt.Printf("same eps via Laplace noise needs scale b = %.2f:\n", noiseScale)
 	fmt.Printf("  %-22s %-8s %s\n", "route", "eps", "decisions changed vs original")
-	fmt.Printf("  %-22s %-8.3f %.1f%%\n", "repair (this package)", after.Epsilon, 100*plan.Movement)
+	fmt.Printf("  %-22s %-8.3f %.1f%%\n", "repair (this package)", float64(plan.AchievedEpsilon), 100*plan.Movement)
 	fmt.Printf("  %-22s %-8.3f %.1f%%\n", "Laplace noise", fairness.MustEpsilon(noisy).Epsilon, 100*noiseChanged)
 	fmt.Println("\nreading: the repair moves only the decisions the fairness target")
 	fmt.Println("requires; noise scrambles decisions indiscriminately in both")

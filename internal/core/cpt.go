@@ -228,6 +228,34 @@ func (c *CPT) Marginalize(names ...string) (*CPT, error) {
 	return out, nil
 }
 
+// BinaryRates extracts the positive-outcome rates of a binary-outcome
+// CPT: for every supported group it returns the group index, P(1 | s)
+// and the group weight, in group order. It is the shared entry point of
+// the repair planners, so the "is there anything to compare" guard lives
+// in one place: a table with a non-binary outcome vocabulary is an
+// argument error, and one with fewer than two supported groups — all
+// mass on a single intersection, or no mass at all — fails with an error
+// wrapping ErrDegenerateSupport instead of letting downstream math
+// produce NaN rates.
+func (c *CPT) BinaryRates() (groups []int, rates, weights []float64, err error) {
+	if len(c.outcomes) != 2 {
+		return nil, nil, nil, fmt.Errorf("core: BinaryRates needs a binary-outcome CPT, got %d outcomes", len(c.outcomes))
+	}
+	for g := range c.weight {
+		if c.weight[g] <= 0 {
+			continue
+		}
+		groups = append(groups, g)
+		rates = append(rates, c.Prob(g, 1))
+		weights = append(weights, c.weight[g])
+	}
+	if len(groups) < 2 {
+		return nil, nil, nil, fmt.Errorf("core: only %d supported groups; need at least two to compare: %w",
+			len(groups), ErrDegenerateSupport)
+	}
+	return groups, rates, weights, nil
+}
+
 // OutcomeIndex returns the index of the named outcome, or -1.
 func (c *CPT) OutcomeIndex(name string) int {
 	for i, o := range c.outcomes {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -159,5 +160,35 @@ func TestOutcomeIndex(t *testing.T) {
 	}
 	if got := c.OutcomeIndex("maybe"); got != -1 {
 		t.Fatalf("OutcomeIndex(maybe) = %d", got)
+	}
+}
+
+func TestBinaryRates(t *testing.T) {
+	s := MustSpace(Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	c := MustCPT(s, []string{"no", "yes"})
+	c.MustSetRow(0, 2, 0.3, 0.7)
+	c.MustSetRow(2, 1, 0.9, 0.1) // group 1 left unsupported
+	groups, rates, weights, err := c.BinaryRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || groups[0] != 0 || groups[1] != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if rates[0] != 0.7 || rates[1] != 0.1 || weights[0] != 2 || weights[1] != 1 {
+		t.Fatalf("rates = %v weights = %v", rates, weights)
+	}
+
+	three := MustCPT(s, []string{"x", "y", "z"})
+	if _, _, _, err := three.BinaryRates(); err == nil {
+		t.Error("three-outcome CPT accepted")
+	}
+	single := MustCPT(s, []string{"no", "yes"})
+	single.MustSetRow(1, 1, 0.5, 0.5)
+	if _, _, _, err := single.BinaryRates(); !errors.Is(err, ErrDegenerateSupport) {
+		t.Errorf("single supported group: got %v, want ErrDegenerateSupport", err)
+	}
+	if _, _, _, err := MustCPT(s, []string{"no", "yes"}).BinaryRates(); !errors.Is(err, ErrDegenerateSupport) {
+		t.Error("empty CPT accepted")
 	}
 }

@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzRepairPlan drives arbitrary contingency tables and targets through
+// both planners: they must never panic, degenerate support must surface
+// as core.ErrDegenerateSupport (not a garbage plan), and every produced
+// plan must be NaN-free, achieve its target under core.Epsilon, and
+// compile into a working Applier. The seed corpus runs as a regression
+// suite under plain `go test`; `go test -fuzz FuzzRepairPlan` explores.
+func FuzzRepairPlan(f *testing.F) {
+	f.Add([]byte{80, 20, 40, 60, 10, 90}, uint8(50))
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(10))
+	f.Add([]byte{0, 0, 5, 5, 0, 0}, uint8(0))
+	f.Add([]byte{255, 0, 0, 255, 1, 1}, uint8(255))
+	f.Add([]byte{1}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, targetByte uint8) {
+		space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c"}})
+		counts := core.MustCounts(space, []string{"no", "yes"})
+		for i, v := range raw {
+			if i >= 6 {
+				break
+			}
+			counts.MustAdd(i/2, i%2, float64(v))
+		}
+		// Targets sweep [0, 2.55] including the exact-zero edge.
+		target := float64(targetByte) / 100
+		cpt := counts.Empirical()
+		for name, planner := range map[string]func(*core.CPT, float64) (Plan, error){
+			"binary": Binary, "no-leveling-down": BinaryNoLevelingDown,
+		} {
+			plan, err := planner(cpt, target)
+			if err != nil {
+				if !errors.Is(err, core.ErrDegenerateSupport) {
+					t.Fatalf("%s: unexpected error class on %v: %v", name, raw, err)
+				}
+				continue
+			}
+			if math.IsNaN(plan.Lo) || math.IsNaN(plan.Hi) || math.IsNaN(plan.Movement) ||
+				math.IsNaN(plan.LevelingDown) || plan.Movement < 0 || plan.Movement > 1 {
+				t.Fatalf("%s: invalid plan %+v on %v", name, plan, raw)
+			}
+			for _, gp := range plan.Groups {
+				if math.IsNaN(gp.NewRate) || gp.NewRate < 0 || gp.NewRate > 1 ||
+					math.IsNaN(gp.FlipPosToNeg) || math.IsNaN(gp.FlipNegToPos) {
+					t.Fatalf("%s: invalid group plan %+v on %v", name, gp, raw)
+				}
+			}
+			repaired, err := plan.Apply(cpt)
+			if err != nil {
+				t.Fatalf("%s: apply failed: %v", name, err)
+			}
+			res, err := core.Epsilon(repaired)
+			if err != nil {
+				t.Fatalf("%s: repaired epsilon failed: %v", name, err)
+			}
+			if res.Epsilon > target+1e-6 {
+				t.Fatalf("%s: repaired eps %v exceeds target %v on counts %v", name, res.Epsilon, target, raw)
+			}
+			app, err := plan.NewApplier(space.Size(), 1)
+			if err != nil {
+				t.Fatalf("%s: applier failed: %v", name, err)
+			}
+			groups := make([]int, 0, 6)
+			decisions := make([]int, 0, 6)
+			for _, gp := range plan.Groups {
+				groups = append(groups, gp.Group, gp.Group)
+				decisions = append(decisions, 0, 1)
+			}
+			if _, err := app.ApplyBatch(0, groups, decisions); err != nil {
+				t.Fatalf("%s: apply batch failed: %v", name, err)
+			}
+			for i, d := range decisions {
+				if d != 0 && d != 1 {
+					t.Fatalf("%s: non-binary repaired decision %d at %d", name, d, i)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -147,6 +148,48 @@ func TestRepairPropertyRandom(t *testing.T) {
 	}
 }
 
+// TestRepairMovementMinimalVsBruteForce: on small random instances the
+// optimizer's movement matches an exhaustive dense-grid scan over the
+// band's lower endpoint, so the grid-plus-ternary refinement is really
+// finding the minimum, not a local kink.
+func TestRepairMovementMinimalVsBruteForce(t *testing.T) {
+	r := rng.New(909)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(3)
+		rates := make([]float64, n)
+		weights := make([]float64, n)
+		var totalW float64
+		for i := range rates {
+			rates[i] = 0.02 + 0.96*r.Float64()
+			weights[i] = 0.1 + r.Float64()
+			totalW += weights[i]
+		}
+		target := 0.05 + r.Float64()
+		cpt := binaryCPT(t, rates, weights)
+		plan, err := Binary(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		const gridN = 20000
+		for i := 1; i <= gridN; i++ {
+			a := float64(i) / gridN
+			b := bandUpper(a, target)
+			var cost float64
+			for j, rt := range rates {
+				cost += weights[j] * math.Abs(clamp(rt, a, b)-rt)
+			}
+			if c := cost / totalW; c < best {
+				best = c
+			}
+		}
+		if plan.Movement > best+1e-4 {
+			t.Fatalf("trial %d: movement %v above brute-force optimum %v (rates %v, target %v)",
+				trial, plan.Movement, best, rates, target)
+		}
+	}
+}
+
 // TestRepairMovementMonotoneInTarget: looser targets never require more
 // movement.
 func TestRepairMovementMonotoneInTarget(t *testing.T) {
@@ -193,6 +236,241 @@ func TestRepairFlipProbabilitiesRealizeRates(t *testing.T) {
 	}
 }
 
+// TestRepairDegenerateSupport: tables where repair has nothing to
+// compare — every group empty, or all mass on a single group — must fail
+// with the typed core.ErrDegenerateSupport, never produce NaN rates.
+func TestRepairDegenerateSupport(t *testing.T) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c"}})
+	empty := core.MustCounts(space, []string{"no", "yes"})
+	if _, err := Binary(empty.Empirical(), 0.5); !errors.Is(err, core.ErrDegenerateSupport) {
+		t.Errorf("all-empty counts: got %v, want ErrDegenerateSupport", err)
+	}
+	single := core.MustCounts(space, []string{"no", "yes"})
+	single.MustAdd(1, 0, 30)
+	single.MustAdd(1, 1, 70)
+	for _, f := range []func(*core.CPT, float64) (Plan, error){Binary, BinaryNoLevelingDown} {
+		plan, err := f(single.Empirical(), 0.5)
+		if !errors.Is(err, core.ErrDegenerateSupport) {
+			t.Errorf("single-group counts: got %v, want ErrDegenerateSupport", err)
+		}
+		if len(plan.Groups) != 0 || plan.Lo != 0 || plan.Hi != 0 {
+			t.Errorf("degenerate input leaked a partial plan: %+v", plan)
+		}
+	}
+}
+
+func TestRepairNoLevelingDown(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.7, 0.3, 0.5}, []float64{5, 1, 1})
+	for _, target := range []float64{0.05, 0.2, 0.5} {
+		plan, err := BinaryNoLevelingDown(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gp := range plan.Groups {
+			if gp.NewRate < gp.OldRate-1e-12 {
+				t.Errorf("target %v: group %d leveled down: %v -> %v", target, gp.Group, gp.OldRate, gp.NewRate)
+			}
+			if gp.FlipPosToNeg != 0 {
+				t.Errorf("target %v: group %d has a pos->neg flip under the guard", target, gp.Group)
+			}
+		}
+		if plan.LevelingDown != 0 {
+			t.Errorf("target %v: LevelingDown = %v under the guard", target, plan.LevelingDown)
+		}
+		repaired, err := plan.Apply(cpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after := core.MustEpsilon(repaired).Epsilon; after > target+1e-9 {
+			t.Errorf("target %v: guarded repair achieves eps %v", target, after)
+		}
+		// The guard costs at least as much movement as the free optimum.
+		free, err := Binary(cpt, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Movement < free.Movement-1e-9 {
+			t.Errorf("target %v: guarded movement %v below unconstrained %v", target, plan.Movement, free.Movement)
+		}
+	}
+}
+
+// TestRepairNoLevelingDownSaturatedGroup: a supported group at rate 1
+// forces every group to 1 under the guard (the documented caveat).
+func TestRepairNoLevelingDownSaturatedGroup(t *testing.T) {
+	cpt := binaryCPT(t, []float64{1, 0.4}, []float64{1, 1})
+	plan, err := BinaryNoLevelingDown(cpt, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gp := range plan.Groups {
+		if math.Abs(gp.NewRate-1) > 1e-12 {
+			t.Errorf("group %d not raised to 1: %v", gp.Group, gp.NewRate)
+		}
+	}
+	repaired, err := plan.Apply(cpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := core.MustEpsilon(repaired).Epsilon; after > 0.3+1e-9 {
+		t.Errorf("saturated repair eps %v", after)
+	}
+}
+
+func TestRepairLevelingDownReported(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.8, 0.2}, []float64{1, 1})
+	plan, err := Binary(cpt, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	var totalW float64
+	for _, gp := range plan.Groups {
+		if gp.OldRate > gp.NewRate {
+			want += gp.Weight * (gp.OldRate - gp.NewRate)
+		}
+		totalW += gp.Weight
+	}
+	want /= totalW
+	if math.Abs(plan.LevelingDown-want) > 1e-12 {
+		t.Errorf("LevelingDown = %v, want %v", plan.LevelingDown, want)
+	}
+	if plan.LevelingDown <= 0 {
+		t.Error("expected some leveling down from the unconstrained band at a tight target")
+	}
+}
+
+func TestApplierMatchesPostProcess(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.8, 0.1, 0.5}, []float64{2, 1, 1})
+	plan, err := Binary(cpt, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := plan.NewApplier(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120000
+	groups := make([]int, n)
+	decisions := make([]int, n)
+	r := rng.New(7)
+	for i := range groups {
+		groups[i] = r.Intn(3)
+		if r.Float64() < plan.Groups[groups[i]].OldRate {
+			decisions[i] = 1
+		}
+	}
+	changed, err := app.ApplyBatch(0, groups, decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed <= 0 {
+		t.Fatal("no decisions changed on an unfair stream")
+	}
+	// Empirical repaired rates match the plan's NewRate per group.
+	pos := make([]float64, 3)
+	tot := make([]float64, 3)
+	for i := range groups {
+		tot[groups[i]]++
+		pos[groups[i]] += float64(decisions[i])
+	}
+	for _, gp := range plan.Groups {
+		got := pos[gp.Group] / tot[gp.Group]
+		if math.Abs(got-gp.NewRate) > 0.01 {
+			t.Errorf("group %d: applied rate %v, plan rate %v", gp.Group, got, gp.NewRate)
+		}
+	}
+}
+
+// TestApplierBatchSplitInvariance: applying one big batch equals
+// applying any partition of it with the corresponding tickets — the
+// property that makes concurrent serving deterministic per decision.
+func TestApplierBatchSplitInvariance(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.9, 0.2}, []float64{1, 1})
+	plan, err := Binary(cpt, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := plan.NewApplier(2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	groups := make([]int, n)
+	base := make([]int, n)
+	r := rng.New(11)
+	for i := range groups {
+		groups[i] = r.Intn(2)
+		base[i] = r.Intn(2)
+	}
+	whole := append([]int(nil), base...)
+	if _, err := app.ApplyBatch(1000, groups, whole); err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []int{1, 7, 512, n} {
+		parts := append([]int(nil), base...)
+		for off := 0; off < n; off += split {
+			end := off + split
+			if end > n {
+				end = n
+			}
+			if _, err := app.ApplyBatch(1000+uint64(off), groups[off:end], parts[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range whole {
+			if whole[i] != parts[i] {
+				t.Fatalf("split %d: decision %d diverged (%d vs %d)", split, i, whole[i], parts[i])
+			}
+		}
+	}
+}
+
+func TestApplierValidation(t *testing.T) {
+	cpt := binaryCPT(t, []float64{0.8, 0.1}, []float64{1, 1})
+	plan, err := Binary(cpt, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.NewApplier(0, 1); err == nil {
+		t.Error("zero group count accepted")
+	}
+	if _, err := plan.NewApplier(1, 1); err == nil {
+		t.Error("plan group outside the space accepted")
+	}
+	if _, err := (Plan{}).NewApplier(4, 1); err == nil {
+		t.Error("empty plan accepted")
+	}
+	app, err := plan.NewApplier(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name              string
+		groups, decisions []int
+	}{
+		{"length mismatch", []int{0, 1}, []int{1}},
+		{"group out of range", []int{-1}, []int{0}},
+		{"group too large", []int{4}, []int{0}},
+		{"uncovered group", []int{2}, []int{0}},
+		{"non-binary decision", []int{0}, []int{2}},
+	}
+	for _, tc := range cases {
+		before := append([]int(nil), tc.decisions...)
+		if _, err := app.ApplyBatch(0, tc.groups, tc.decisions); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		for i := range before {
+			if tc.decisions[i] != before[i] {
+				t.Errorf("%s: rejected batch was partially applied", tc.name)
+			}
+		}
+	}
+	if changed, err := app.ApplyBatch(0, nil, nil); err != nil || changed != 0 {
+		t.Errorf("empty batch: changed=%d err=%v", changed, err)
+	}
+}
+
 func TestRepairValidation(t *testing.T) {
 	cpt := binaryCPT(t, []float64{0.5, 0.6}, []float64{1, 1})
 	if _, err := Binary(cpt, -1); err == nil {
@@ -200,6 +478,9 @@ func TestRepairValidation(t *testing.T) {
 	}
 	if _, err := Binary(cpt, math.NaN()); err == nil {
 		t.Error("NaN target accepted")
+	}
+	if _, err := Binary(cpt, math.Inf(1)); err == nil {
+		t.Error("infinite target accepted")
 	}
 	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
 	three := core.MustCPT(space, []string{"x", "y", "z"})

@@ -363,6 +363,14 @@ func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, er
 	return w.check()
 }
 
+// Check evaluates the threshold against the current state without
+// recording anything: the on-demand form of the per-batch check, for
+// services that need the breach state outside an observe call (e.g.
+// when deciding whether to install a repair plan). It returns the alert
+// (nil when under threshold or below MinEffective) and the effective
+// mass of the snapshot it measured.
+func (w *Watch) Check() (*Alert, float64, error) { return w.check() }
+
 // check evaluates the threshold against one fresh snapshot. The
 // MinEffective gate runs on the snapshot total before any estimator
 // work, so a cold-start ObserveChecked loop pays only the shard merge

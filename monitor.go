@@ -151,6 +151,14 @@ func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, er
 	return w.inner.ObserveBatchChecked(groups, outcomes)
 }
 
+// Check evaluates the threshold against the current snapshot without
+// recording any decision: the on-demand breach probe services use when
+// reporting state outside an observe call (e.g. confirming the ε breach
+// that motivated a repair-plan request). Returns the alert (nil when
+// under threshold or below the minimum effective mass) and the measured
+// effective mass.
+func (w *Watch) Check() (*Alert, float64, error) { return w.inner.Check() }
+
 // MonitorShards returns the per-monitor ingest shard count this
 // package's constructors use: a machine-sized default (about twice
 // GOMAXPROCS). A monitor's memory is roughly shards × groups × outcomes

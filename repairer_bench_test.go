@@ -1,0 +1,67 @@
+package fairness_test
+
+import (
+	"testing"
+
+	fairness "repro"
+	"repro/internal/datasets"
+	"repro/internal/rng"
+)
+
+// BenchmarkRepairPlan measures one full Repairer.Plan over the
+// admissions table: estimator conversion, band optimization, repaired-ε
+// verification and the parallel subset ladder.
+func BenchmarkRepairPlan(b *testing.B) {
+	counts := datasets.Admissions()
+	rep, err := fairness.NewRepairer(counts.Space(), counts.Outcomes(),
+		fairness.WithTargetEpsilon(0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.Plan(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyBatch measures the steady-state serving path: one
+// 512-decision batch post-processed in place through a live plan. The
+// acceptance bar is 0 allocs/op — the apply path must not garbage-load
+// a decision gateway.
+func BenchmarkApplyBatch(b *testing.B) {
+	counts := datasets.Admissions()
+	rep, err := fairness.NewRepairer(counts.Space(), counts.Outcomes(),
+		fairness.WithTargetEpsilon(0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := rep.Plan(counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := plan.Applier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 512
+	groups := make([]int, batch)
+	decisions := make([]int, batch)
+	r := rng.New(5)
+	for i := range groups {
+		groups[i] = r.Intn(4)
+		decisions[i] = r.Intn(2)
+	}
+	b.SetBytes(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Decisions stay binary under repeated application, so reusing the
+		// buffer keeps the loop allocation-free without resetting.
+		if _, err := app.Apply(groups, decisions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Coverage gate: runs the full test suite with -coverprofile and fails
+# when total statement coverage drops below the recorded baseline. The
+# baseline is the seed measurement minus a small slack for inherent
+# per-run variation (parallel test scheduling does not affect counted
+# statements, but new intentionally-unreached guard code should not
+# flip CI red by a hundredth of a percent).
+#
+# Usage:
+#   scripts/coverage_gate.sh             # run tests, then gate
+#   scripts/coverage_gate.sh cover.out   # gate an existing profile
+#
+# Update MIN_COVERAGE deliberately when the floor legitimately moves.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MIN_COVERAGE="${MIN_COVERAGE:-81.0}"
+profile="${1:-}"
+
+if [[ -z "$profile" ]]; then
+  profile="$(mktemp)"
+  trap 'rm -f "$profile"' EXIT
+  go test -count=1 -coverprofile="$profile" ./...
+fi
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+awk -v t="$total" -v min="$MIN_COVERAGE" 'BEGIN {
+  if (t + 0 < min + 0) {
+    printf "coverage gate FAILED: total %.1f%% < required %.1f%%\n", t, min
+    exit 1
+  }
+  printf "coverage gate ok: total %.1f%% >= required %.1f%%\n", t, min
+}'
