@@ -284,12 +284,13 @@ func MustAuditor(space *Space, outcomes []string, opts ...Option) *Auditor {
 }
 
 // Run audits one contingency table and returns the complete report. The
-// counts must be over the auditor's space and outcomes. ctx is threaded
-// through the parallel bootstrap/posterior engines: canceling it makes
-// an in-flight Run return promptly with ctx.Err().
+// counts must be over the auditor's space and outcomes. ctx must be
+// non-nil; it is threaded through the parallel bootstrap/posterior
+// engines, so canceling it makes an in-flight Run return promptly with
+// ctx.Err(). Callers without a deadline pass context.Background().
 func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		return nil, fmt.Errorf("fairness: Auditor.Run: nil ctx (pass context.Background() if no deadline applies)")
 	}
 	if counts == nil {
 		return nil, fmt.Errorf("fairness: Auditor.Run: nil counts")
@@ -320,8 +321,8 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 	rep := &Report{
 		SchemaVersion: ReportSchemaVersion,
 		Estimator:     estimator,
-		Alpha:         cfg.alpha,
-		Observations:  counts.Total(),
+		Alpha:         JSONFloat(cfg.alpha),
+		Observations:  JSONFloat(counts.Total()),
 	}
 
 	fullCPT, err := toCPT(counts)
@@ -370,7 +371,7 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 	}
 
 	if cfg.bootstrapB > 0 {
-		iv, err := resample.EpsilonBootstrapCtx(ctx, counts, cfg.alpha,
+		iv, err := resample.EpsilonBootstrap(ctx, counts, cfg.alpha,
 			cfg.bootstrapB, cfg.bootstrapLevel, rng.New(cfg.seed), cfg.workers)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -380,10 +381,10 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 		}
 		rep.Bootstrap = &BootstrapReport{
 			Replicates:    cfg.bootstrapB,
-			Level:         iv.Level,
+			Level:         JSONFloat(iv.Level),
 			Lo:            JSONFloat(iv.Lo),
 			Hi:            JSONFloat(iv.Hi),
-			InfiniteShare: iv.InfiniteShare,
+			InfiniteShare: JSONFloat(iv.InfiniteShare),
 		}
 	}
 
@@ -392,7 +393,7 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fairness: credible: %w", err)
 		}
-		post, err := model.EpsilonCredibleCtx(ctx, cfg.credibleB,
+		post, err := model.EpsilonCredible(ctx, cfg.credibleB,
 			cfg.credibleLevel, rng.New(cfg.seed), cfg.workers)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -402,8 +403,8 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 		}
 		rep.Credible = &CredibleReport{
 			Samples:    cfg.credibleB,
-			PriorAlpha: cfg.credibleAlpha,
-			Level:      post.Level,
+			PriorAlpha: JSONFloat(cfg.credibleAlpha),
+			Level:      JSONFloat(post.Level),
 			Mean:       JSONFloat(post.Mean),
 			Median:     JSONFloat(post.Median),
 			Lo:         JSONFloat(post.Lo),
@@ -428,8 +429,8 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 					ValueHi:       r.ValueHi,
 					ValueLo:       r.ValueLo,
 					Outcome:       outcomes[y],
-					AggregateDiff: r.AggregateDiff,
-					StratumDiffs:  r.StratumDiffs,
+					AggregateDiff: JSONFloat(r.AggregateDiff),
+					StratumDiffs:  jsonFloats(r.StratumDiffs),
 				})
 			}
 		}
@@ -441,18 +442,18 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 			return nil, fmt.Errorf("fairness: repair: %w", err)
 		}
 		rr := &RepairReport{
-			TargetEpsilon: plan.TargetEpsilon,
-			Lo:            plan.Lo,
-			Hi:            plan.Hi,
-			Movement:      plan.Movement,
+			TargetEpsilon: JSONFloat(plan.TargetEpsilon),
+			Lo:            JSONFloat(plan.Lo),
+			Hi:            JSONFloat(plan.Hi),
+			Movement:      JSONFloat(plan.Movement),
 		}
 		for _, gp := range plan.Groups {
 			rr.Groups = append(rr.Groups, RepairGroupReport{
 				Group:        space.Label(gp.Group),
-				OldRate:      gp.OldRate,
-				NewRate:      gp.NewRate,
-				FlipPosToNeg: gp.FlipPosToNeg,
-				FlipNegToPos: gp.FlipNegToPos,
+				OldRate:      JSONFloat(gp.OldRate),
+				NewRate:      JSONFloat(gp.NewRate),
+				FlipPosToNeg: JSONFloat(gp.FlipPosToNeg),
+				FlipNegToPos: JSONFloat(gp.FlipNegToPos),
 			})
 		}
 		rep.Repair = rr
@@ -481,6 +482,18 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 	}
 
 	return rep, nil
+}
+
+// jsonFloats converts a float64 slice to the schema's JSONFloat form.
+func jsonFloats(xs []float64) []JSONFloat {
+	if xs == nil {
+		return nil
+	}
+	out := make([]JSONFloat, len(xs))
+	for i, x := range xs {
+		out[i] = JSONFloat(x)
+	}
+	return out
 }
 
 // witnessLabels resolves a witness's indices against its space and the

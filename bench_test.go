@@ -252,7 +252,7 @@ func BenchmarkBayesPosterior(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := model.SamplePosterior(100, r); err != nil {
+		if _, err := model.SamplePosterior(context.Background(), 100, r); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -375,7 +375,7 @@ func BenchmarkEpsilonBootstrap(b *testing.B) {
 		rr := rng.New(8)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := resample.EpsilonBootstrap(counts, 1, replicates, 0.95, rr); err != nil {
+			if _, err := resample.EpsilonBootstrap(context.Background(), counts, 1, replicates, 0.95, rr, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -443,7 +443,7 @@ func BenchmarkEpsilonCredible(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := model.EpsilonCredible(200, 0.95, r); err != nil {
+		if _, err := model.EpsilonCredible(context.Background(), 200, 0.95, r, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -464,7 +464,7 @@ func BenchmarkBootstrap(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := resample.EpsilonBootstrap(counts, 1, 100, 0.95, r); err != nil {
+		if _, err := resample.EpsilonBootstrap(context.Background(), counts, 1, 100, 0.95, r, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

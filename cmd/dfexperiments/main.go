@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -119,7 +120,7 @@ func runOne(name string, censusCfg census.Config, logistic classify.LogisticConf
 		}
 		return r.String(), nil
 	case "credible":
-		r, err := experiments.CredibleInterval(censusCfg, 500, 7)
+		r, err := experiments.CredibleInterval(context.Background(), censusCfg, 500, 7)
 		if err != nil {
 			return "", err
 		}

@@ -15,6 +15,7 @@ package main
 // recomputes the plan from the current raw window in place.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -105,7 +106,7 @@ func handleRepair(w http.ResponseWriter, r *http.Request, cfg serverConfig) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, err := rep.Plan(counts)
+	plan, err := rep.Plan(r.Context(), counts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -152,13 +153,13 @@ type monitorRepairResponse struct {
 // plan from its current window. The bool return distinguishes option
 // errors (client mistake, 400) from plan failures on the snapshot (422,
 // e.g. a still-degenerate window).
-func (e *monitorEntry) computePlan(spec *repairOptionsSpec, workers int) (*fairness.RepairPlan, *fairness.Applier, bool, error) {
+func (e *monitorEntry) computePlan(ctx context.Context, spec *repairOptionsSpec, workers int) (*fairness.RepairPlan, *fairness.Applier, bool, error) {
 	rep, err := fairness.NewRepairer(e.mon.Space(), e.cfg.Outcomes,
 		spec.toOptions(workers, e.cfg.Alpha)...)
 	if err != nil {
 		return nil, nil, true, err
 	}
-	plan, err := rep.PlanMonitor(e.mon)
+	plan, err := rep.PlanMonitor(ctx, e.mon)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -188,7 +189,7 @@ func (r *registry) handleMonitorRepair(w http.ResponseWriter, req *http.Request)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("target_epsilon is required"))
 		return
 	}
-	plan, app, clientErr, err := e.computePlan(&body.repairOptionsSpec, r.cfg.workers)
+	plan, app, clientErr, err := e.computePlan(req.Context(), &body.repairOptionsSpec, r.cfg.workers)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if clientErr {
@@ -350,7 +351,7 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 		Alert:          e.alertReport(alert),
 	}
 	if alert != nil && lp.autoRefresh {
-		r.refreshPlan(e, lp, &resp)
+		r.refreshPlan(req.Context(), e, lp, &resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -361,7 +362,7 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 // on a single recompute: whoever gets the lock first while the alerting
 // plan is still installed refreshes it; everyone else reports the
 // version they now see.
-func (r *registry) refreshPlan(e *monitorEntry, lp *livePlan, resp *decideResponse) {
+func (r *registry) refreshPlan(ctx context.Context, e *monitorEntry, lp *livePlan, resp *decideResponse) {
 	e.refreshMu.Lock()
 	defer e.refreshMu.Unlock()
 	cur := e.live.Load()
@@ -371,7 +372,7 @@ func (r *registry) refreshPlan(e *monitorEntry, lp *livePlan, resp *decideRespon
 		resp.NewPlanVersion = cur.version
 		return
 	}
-	plan, app, _, err := e.computePlan(&lp.spec, r.cfg.workers)
+	plan, app, _, err := e.computePlan(ctx, &lp.spec, r.cfg.workers)
 	if err != nil {
 		// The serving path keeps the old plan: a failed refresh (e.g. a
 		// window that just reset to nothing) must not take the gateway

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -304,7 +305,7 @@ func TestRepairStateless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := rep.Plan(counts)
+	want, err := rep.Plan(context.Background(), counts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -73,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := rep.PlanMonitor(mon)
+	plan, err := rep.PlanMonitor(context.Background(), mon)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gplan, err := guarded.PlanMonitor(mon)
+	gplan, err := guarded.PlanMonitor(context.Background(), mon)
 	if err != nil {
 		log.Fatal(err)
 	}

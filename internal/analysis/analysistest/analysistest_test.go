@@ -1,0 +1,32 @@
+package analysistest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// badfuncs flags every function whose name starts with Bad — a trivial
+// analyzer whose only purpose is to drive the harness over its own
+// fixture, so a regression in want-comment matching fails here rather
+// than masquerading as an analyzer bug.
+var badfuncs = &framework.Analyzer{
+	Name: "badfuncs",
+	Doc:  "reports functions named Bad* (harness self-test)",
+	Run: func(pass *framework.Pass) error {
+		pass.Inspect(func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if ok && strings.HasPrefix(fn.Name.Name, "Bad") {
+				pass.Reportf(fn.Pos(), "bad function %s", fn.Name.Name)
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+func TestHarnessMatchesWantComments(t *testing.T) {
+	Run(t, badfuncs, "self")
+}

@@ -1,0 +1,11 @@
+// Package self is the harness's own fixture: the badfuncs self-test
+// analyzer (analysistest_test.go) must match these expectations
+// exactly, proving the want-comment matching machinery itself works.
+package self
+
+// Good produces no diagnostics.
+func Good() {}
+
+func BadOne() {} // want `bad function BadOne`
+
+func BadTwo() {} // want `bad function`

@@ -1,0 +1,105 @@
+// Package ctxflow enforces the cancellation contract the context-aware
+// Auditor API promised: once a caller hands a context to the public
+// surface, no library layer may drop it on the floor.
+//
+// Two rules, both scoped to non-main packages of this module:
+//
+//   - no minting: library code must not call context.Background() or
+//     context.TODO(). A freshly minted root context severs the caller's
+//     cancellation chain — the worker pool keeps resampling after the
+//     HTTP request that asked for it is gone. Roots belong in main
+//     functions and tests only.
+//   - no dropping: a function that declares a named context.Context
+//     parameter must actually use it (thread it to callees, poll
+//     ctx.Err(), or select on ctx.Done()). An unused ctx parameter is a
+//     cancellation contract the signature advertises but the body
+//     ignores. Intentionally-ignored contexts are spelled `_`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the context-propagation check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "library packages must not mint context.Background()/TODO() " +
+		"(severs the caller's cancellation chain) and must use every named " +
+		"ctx parameter they declare",
+	AppliesTo: func(p *framework.Package) bool {
+		return p.Module == "repro" && p.Name != "main"
+	},
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, fn, ok := pass.CalleePkgFunc(call); ok && pkg == "context" && (fn == "Background" || fn == "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s minted in a library package: severs the caller's cancellation chain; accept a ctx parameter and thread it through", fn)
+		}
+		return true
+	})
+
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Params == nil {
+				continue
+			}
+			for _, field := range fn.Type.Params.List {
+				if !isContextType(pass.TypeOf(field.Type)) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo().Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !usedIn(pass, fn.Body, obj) {
+						pass.Reportf(name.Pos(),
+							"context parameter %s is declared but never used: thread it to callees or rename it _ to document the drop", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usedIn reports whether any identifier in body resolves to obj.
+func usedIn(pass *framework.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo().Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,30 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/framework"
+)
+
+func TestCtxflowFixture(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "cf")
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		pkg  framework.Package
+		want bool
+	}{
+		{framework.Package{ImportPath: "repro", Name: "fairness", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/internal/par", Name: "par", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/cmd/dfserve", Name: "main", Module: "repro"}, false},
+		{framework.Package{ImportPath: "context", Name: "context", Module: ""}, false},
+	}
+	for _, c := range cases {
+		if got := ctxflow.Analyzer.AppliesTo(&c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%s) = %v, want %v", c.pkg.ImportPath, got, c.want)
+		}
+	}
+}

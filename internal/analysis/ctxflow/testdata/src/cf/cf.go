@@ -1,0 +1,47 @@
+// Package cf is the ctxflow fixture: library code that mints root
+// contexts and drops ctx parameters, alongside the threaded versions
+// that pass.
+package cf
+
+import "context"
+
+// work stands in for a cancellable callee.
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Mint severs the caller's cancellation chain by fabricating a root.
+func Mint() error {
+	return work(context.Background()) // want `context.Background minted in a library package`
+}
+
+// Todo is no better: TODO is still a root.
+func Todo() error {
+	return work(context.TODO()) // want `context.TODO minted in a library package`
+}
+
+// Dropped advertises cancellation in its signature and then ignores it.
+func Dropped(ctx context.Context, n int) int { // want `context parameter ctx is declared but never used`
+	return n * 2
+}
+
+// Threaded is the contract kept: ctx flows to the callee.
+func Threaded(ctx context.Context, n int) (int, error) {
+	if err := work(ctx); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+// Polled uses ctx directly instead of passing it on — also fine.
+func Polled(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Ignored documents the drop with the blank identifier.
+func Ignored(_ context.Context, n int) int {
+	return n + 1
+}

@@ -1,0 +1,90 @@
+// Package determinism enforces the repository's reproducibility
+// invariant: every report, plan and resampled interval is a
+// deterministic function of (inputs, options, seed), bit-identical
+// across GOMAXPROCS. Inside the determinism-critical packages
+// (internal/{core,rng,resample,bayes,repair,stream} and the public
+// fairness package) it forbids the three stdlib idioms that silently
+// break that guarantee:
+//
+//   - importing math/rand or math/rand/v2: randomness must flow through
+//     repro/internal/rng substreams so a (seed, ticket/replicate) pair
+//     pins every draw regardless of scheduling;
+//   - calling time.Now / time.Since / time.Tick / time.After / NewTimer /
+//     NewTicker: wall-clock reads make outputs run-dependent (windows and
+//     decay are defined in ticket time, never wall time);
+//   - ranging over a map: Go randomizes map iteration order per run, so
+//     any output (slice, ladder, serialized report) assembled from a map
+//     range is nondeterministic. Order-insensitive folds can suppress
+//     with `//df:ignore determinism — <why the fold commutes>`.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// criticalPackages are the import paths the invariant covers. The
+// internal/rng implementation itself is included: it must not fall back
+// to math/rand either (its whole purpose is replacing it with fixed
+// xoshiro256++/splitmix64 streams).
+var criticalPackages = map[string]bool{
+	"repro":                   true,
+	"repro/internal/core":     true,
+	"repro/internal/rng":      true,
+	"repro/internal/resample": true,
+	"repro/internal/bayes":    true,
+	"repro/internal/repair":   true,
+	"repro/internal/stream":   true,
+}
+
+// wallClockFuncs are the package time entry points that read or schedule
+// against the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the determinism invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "forbid global math/rand, wall-clock reads and map-range-ordered " +
+		"output in the determinism-critical packages; randomness must flow " +
+		"through internal/rng substreams so (seed, ticket/replicate) " +
+		"reproducibility holds",
+	AppliesTo: func(p *framework.Package) bool { return criticalPackages[p.ImportPath] },
+	Run:       run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files() {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a determinism-critical package: draw randomness from repro/internal/rng substreams instead", path)
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, fn, ok := pass.CalleePkgFunc(n); ok && pkg == "time" && wallClockFuncs[fn] {
+				pass.Reportf(n.Pos(),
+					"time.%s in a determinism-critical package: windows and decay are defined in ticket time, not wall time", fn)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"range over a map in a determinism-critical package: iteration order is randomized per run; iterate a sorted key slice, or suppress with //df:ignore determinism if the fold is order-insensitive")
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,28 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/framework"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "det")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro":                 true,
+		"repro/internal/stream": true,
+		"repro/internal/rng":    true,
+		"repro/internal/census": false, // synthetic data generation is seeded but not ε-critical
+		"repro/cmd/dfserve":     false,
+	} {
+		got := determinism.Analyzer.AppliesTo(&framework.Package{ImportPath: path})
+		if got != want {
+			t.Errorf("AppliesTo(%s) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package det is a deliberately nondeterministic fixture: every flagged
+// line is an idiom the determinism analyzer must reject, and the clean
+// half shows the blessed alternatives passing.
+package det
+
+import (
+	"math/rand" // want `import of math/rand in a determinism-critical package`
+	"sort"
+	"time"
+)
+
+// Shuffle draws from the global math/rand source — exactly the
+// nondeterminism the invariant bans.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a determinism-critical package`
+}
+
+// Elapsed schedules against the wall clock twice over.
+func Elapsed(t0 time.Time) time.Duration {
+	<-time.After(time.Millisecond) // want `time.After in a determinism-critical package`
+	return time.Since(t0)          // want `time.Since in a determinism-critical package`
+}
+
+// Keys assembles output in map-iteration order: the classic
+// map-range-ordered bug.
+func Keys(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want `range over a map in a determinism-critical package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the deterministic version: collect, then sort. The map
+// range is order-insensitive only because of the sort that follows, and
+// the suppression comment records that argument.
+func SortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	//df:ignore determinism — keys are sorted below, so collection order cannot leak
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TicketTime is fine: logical time from a counter, no wall clock.
+func TicketTime(ticket int64) int64 { return ticket + 1 }

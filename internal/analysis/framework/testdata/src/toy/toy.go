@@ -1,0 +1,27 @@
+// Package toy is the framework's own test fixture. The in-package
+// framework tests run a throwaway "toycheck" analyzer over it to
+// exercise the Pass helpers, the df:ignore suppression path, and
+// RunAnalyzers ordering — it is not a fixture for any real analyzer.
+package toy
+
+import "fmt"
+
+// Shout triggers toycheck twice; the third call is suppressed by the
+// directive on the preceding line.
+func Shout() {
+	fmt.Println("one")
+	fmt.Println("two")
+	//df:ignore toycheck — fixture exercises the suppression path
+	fmt.Println("three")
+}
+
+//df:ignore othercheck — names a different analyzer, so toycheck still fires
+func Mismatch() {
+	fmt.Println("four")
+}
+
+// Quiet produces no findings: len is a builtin, not a package call.
+func Quiet() int {
+	m := map[string]int{"a": 1}
+	return len(m)
+}

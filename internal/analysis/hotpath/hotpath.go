@@ -1,0 +1,101 @@
+// Package hotpath enforces the zero-allocation contract on functions
+// annotated with a //df:hotpath directive in their doc comment. The
+// annotated functions (core.Epsilon, stream Monitor.ObserveBatch,
+// repair Applier.ApplyBatch) sit on the per-decision serving path; a
+// single allocation per call turns into GC pressure at stream rate, and
+// the bench smoke gate asserts 0 allocs/op on them. This analyzer
+// rejects the constructs that allocate — before the benchmark has to
+// catch them:
+//
+//   - append(...) and the make/new builtins;
+//   - map, slice and pointer-to-struct composite literals;
+//   - function literals (closures capture by reference and escape);
+//   - any call into package fmt (fmt.Errorf, fmt.Sprintf, ... all
+//     allocate; hoist formatting into an unannotated helper that runs
+//     only on the error path).
+//
+// Allocation-free helpers may be called freely: the directive marks the
+// function whose own body must not allocate, not its whole call tree —
+// the benchmark gate covers the tree.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive is the doc-comment annotation that opts a function into the
+// zero-allocation contract.
+const Directive = "df:hotpath"
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //df:hotpath must not contain allocating " +
+		"constructs (append, make/new, map/slice literals, closures, fmt " +
+		"calls); the serving path is benchmarked at 0 allocs/op",
+	AppliesTo: func(p *framework.Package) bool { return p.Module == "repro" },
+	Run:       run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !framework.HasDirective(fn, Directive) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := pass.TypesInfo().Uses[id].(*types.Builtin); isBuiltin {
+					switch b.Name() {
+					case "append", "make", "new":
+						pass.Reportf(n.Pos(),
+							"%s in //df:hotpath function %s: allocates on the serving path; preallocate in the constructor or reuse a scratch buffer", b.Name(), name)
+					}
+				}
+			}
+			if pkg, fnName, ok := pass.CalleePkgFunc(n); ok && pkg == "fmt" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s in //df:hotpath function %s: formatting allocates; hoist it into an unannotated helper reached only on the error path", fnName, name)
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal in //df:hotpath function %s: allocates on the serving path", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal in //df:hotpath function %s: allocates on the serving path", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"function literal in //df:hotpath function %s: closures capture variables by reference and force them to escape", name)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(),
+						"address of composite literal in //df:hotpath function %s: escapes to the heap", name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,29 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpathFixture(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "hp")
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		pkg  framework.Package
+		want bool
+	}{
+		{framework.Package{ImportPath: "repro/internal/core", Module: "repro", Name: "core"}, true},
+		{framework.Package{ImportPath: "repro/cmd/dfserve", Module: "repro", Name: "main"}, true},
+		{framework.Package{ImportPath: "fmt", Module: "", Name: "fmt"}, false},
+	}
+	for _, c := range cases {
+		if got := hotpath.Analyzer.AppliesTo(&c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%s) = %v, want %v", c.pkg.ImportPath, got, c.want)
+		}
+	}
+}

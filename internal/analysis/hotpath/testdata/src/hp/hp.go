@@ -1,0 +1,89 @@
+// Package hp is the hotpath fixture: one annotated function per
+// allocating construct, plus the clean patterns that pass.
+package hp
+
+import "fmt"
+
+// Engine carries preallocated scratch state so the hot path can stay
+// allocation-free.
+type Engine struct {
+	scratch []float64
+	rates   map[string]float64
+}
+
+// Grow appends into the scratch buffer on every call.
+//
+//df:hotpath
+func (e *Engine) Grow(xs []float64) {
+	for _, x := range xs {
+		e.scratch = append(e.scratch, x) // want `append in //df:hotpath function Grow`
+	}
+}
+
+// Fresh builds literals per call.
+//
+//df:hotpath
+func Fresh() (map[string]float64, []int) {
+	m := map[string]float64{"a": 1} // want `map literal in //df:hotpath function Fresh`
+	s := []int{1, 2, 3}             // want `slice literal in //df:hotpath function Fresh`
+	return m, s
+}
+
+// Sized reaches for make and new.
+//
+//df:hotpath
+func Sized(n int) []float64 {
+	p := new(float64)        // want `new in //df:hotpath function Sized`
+	_ = p
+	return make([]float64, n) // want `make in //df:hotpath function Sized`
+}
+
+// Wrapped closes over its argument.
+//
+//df:hotpath
+func Wrapped(x float64) func() float64 {
+	return func() float64 { return x } // want `function literal in //df:hotpath function Wrapped`
+}
+
+// Failing formats its error inline.
+//
+//df:hotpath
+func Failing(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // want `fmt.Errorf in //df:hotpath function Failing`
+	}
+	return nil
+}
+
+// Escaping takes the address of a literal.
+//
+//df:hotpath
+func Escaping() *Engine {
+	return &Engine{} // want `address of composite literal in //df:hotpath function Escaping`
+}
+
+// Observe is the clean pattern: index into preallocated state, hoist
+// formatting into an unannotated helper.
+//
+//df:hotpath
+func (e *Engine) Observe(i int, x float64) error {
+	if i < 0 || i >= len(e.scratch) {
+		return badIndex(i)
+	}
+	e.scratch[i] += x
+	return nil
+}
+
+// badIndex is the cold error path: unannotated, free to allocate.
+func badIndex(i int) error {
+	return fmt.Errorf("index %d out of range", i)
+}
+
+// Unannotated may allocate freely: the contract is opt-in.
+func Unannotated(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// Package jsonfloat enforces the versioned-schema float contract: a
+// json-tagged struct field must not marshal as a bare IEEE float,
+// because ε analysis legitimately produces +Inf (a zero probability
+// against a positive one) and encoding/json refuses non-finite values —
+// the PR-4 bug where an infinite-ε alert broke the whole service
+// response. Fields must use fairness.JSONFloat (or any wrapper with a
+// MarshalJSON that survives Inf/NaN) so "inf"/"-inf"/"nan" encode as
+// sentinel strings.
+//
+// The check is recursive through pointers, slices, arrays and map
+// values, and accepts any named float type that implements
+// json.Marshaler. It covers every non-main package, so future schema
+// types (new Metric reports) inherit the invariant mechanically.
+package jsonfloat
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the schema-stability float check.
+var Analyzer = &framework.Analyzer{
+	Name: "jsonfloat",
+	Doc: "json-tagged float fields in schema structs must be JSONFloat (or " +
+		"another json.Marshaler) so non-finite ε survives serialization — " +
+		"the PR-4 inf-serialization bug as a lint",
+	AppliesTo: func(p *framework.Package) bool {
+		return p.Module == "repro" && p.Name != "main"
+	},
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if field.Tag == nil {
+				continue
+			}
+			tag, err := strconv.Unquote(field.Tag.Value)
+			if err != nil {
+				continue
+			}
+			jsonTag := reflect.StructTag(tag).Get("json")
+			if jsonTag == "" || jsonTag == "-" {
+				continue
+			}
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if bad, desc := bareFloat(t); bad {
+				name := "(embedded)"
+				if len(field.Names) > 0 {
+					name = field.Names[0].Name
+				}
+				pass.Reportf(field.Pos(),
+					"json-tagged field %s is %s: non-finite ε breaks encoding/json; use JSONFloat (or a json.Marshaler wrapper) in versioned schemas", name, desc)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// bareFloat reports whether t (or an element reached through pointers,
+// slices, arrays or map values) marshals as a bare IEEE float: an
+// unnamed float32/float64, or a named float type with no MarshalJSON.
+func bareFloat(t types.Type) (bool, string) {
+	switch u := t.(type) {
+	case *types.Basic:
+		if u.Kind() == types.Float64 || u.Kind() == types.Float32 {
+			return true, "a raw " + u.Name()
+		}
+	case *types.Pointer:
+		if bad, desc := bareFloat(u.Elem()); bad {
+			return true, "a pointer to " + desc
+		}
+	case *types.Slice:
+		if bad, desc := bareFloat(u.Elem()); bad {
+			return true, "a slice of " + desc
+		}
+	case *types.Array:
+		if bad, desc := bareFloat(u.Elem()); bad {
+			return true, "an array of " + desc
+		}
+	case *types.Map:
+		if bad, desc := bareFloat(u.Elem()); bad {
+			return true, "a map of " + desc
+		}
+	case *types.Named, *types.Alias:
+		basic, ok := t.Underlying().(*types.Basic)
+		if !ok || (basic.Kind() != types.Float64 && basic.Kind() != types.Float32) {
+			return false, ""
+		}
+		if hasMarshalJSON(t) {
+			return false, ""
+		}
+		return true, "a named " + basic.Name() + " without MarshalJSON"
+	}
+	return false, ""
+}
+
+// hasMarshalJSON reports whether t or *t has a MarshalJSON method.
+func hasMarshalJSON(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "MarshalJSON")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}

@@ -1,0 +1,30 @@
+package jsonfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/jsonfloat"
+)
+
+func TestJSONFloatFixture(t *testing.T) {
+	analysistest.Run(t, jsonfloat.Analyzer, "jf")
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		pkg  framework.Package
+		want bool
+	}{
+		{framework.Package{ImportPath: "repro", Name: "fairness", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/internal/stream", Name: "stream", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/cmd/dfserve", Name: "main", Module: "repro"}, false},
+		{framework.Package{ImportPath: "encoding/json", Name: "json", Module: ""}, false},
+	}
+	for _, c := range cases {
+		if got := jsonfloat.Analyzer.AppliesTo(&c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%s) = %v, want %v", c.pkg.ImportPath, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package jf reproduces the PR-4 inf-serialization bug as a fixture:
+// schema structs carrying raw IEEE floats in json-tagged fields, next
+// to the blessed JSONFloat-style wrapper that passes.
+package jf
+
+import "strconv"
+
+// JSONFloat mirrors the public fairness.JSONFloat: a float64 whose
+// MarshalJSON survives Inf/NaN by encoding sentinel strings.
+type JSONFloat float64
+
+// MarshalJSON encodes non-finite values as sentinel strings.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(strconv.FormatFloat(float64(f), 'g', -1, 64))), nil
+}
+
+// BareAlias is as dangerous as a raw float64: naming the type does not
+// change how encoding/json sees it.
+type BareAlias float64
+
+// Report is the bug: an ε of +Inf (zero probability against a positive
+// one) makes json.Marshal fail for the whole response.
+type Report struct {
+	Epsilon  float64     `json:"epsilon"` // want `json-tagged field Epsilon is a raw float64`
+	Level    JSONFloat   `json:"level"`
+	Diffs    []float64   `json:"diffs"`  // want `json-tagged field Diffs is a slice of a raw float64`
+	ByGroup  map[string]float64 `json:"by_group"` // want `json-tagged field ByGroup is a map of a raw float64`
+	Target   *float64    `json:"target,omitempty"` // want `json-tagged field Target is a pointer to a raw float64`
+	Renamed  BareAlias   `json:"renamed"` // want `json-tagged field Renamed is a named float64 without MarshalJSON`
+	Safe     []JSONFloat `json:"safe"`
+	Internal float64     `json:"-"`
+	scratch  float64
+	Count    int `json:"count"`
+}
+
+// Use keeps the unexported field referenced so the fixture compiles
+// cleanly under vet-style unused checks.
+func Use(r *Report) float64 { return r.scratch }

@@ -1,0 +1,129 @@
+// Package optvalidate enforces the options-contract lesson from the
+// PR-3 API redesign: every exported With* functional option must
+// validate its arguments at construction time. An option that silently
+// stores an out-of-range value (alpha = -1, bootstrap = 0 replicates,
+// a nil decision function) defers the failure to deep inside a worker
+// pool where the caller can no longer tell which knob was wrong.
+//
+// The check: for each exported function named With<Upper>..., every
+// parameter must appear somewhere in a validating position — an if
+// condition (or its init statement), or a switch — anywhere in the
+// body, including inside the returned closure. Parameters that cannot
+// encode an invalid value are exempt: booleans (both states legal) and
+// unsigned integers where the whole range is meaningful (WithSeed's
+// uint64: every seed is a valid seed).
+package optvalidate
+
+import (
+	"go/ast"
+	"go/types"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the option-validation check.
+var Analyzer = &framework.Analyzer{
+	Name: "optvalidate",
+	Doc: "exported With* options must validate their parameters at " +
+		"construction (reject out-of-range and nil values) instead of " +
+		"deferring the failure into worker pools",
+	AppliesTo: func(p *framework.Package) bool {
+		return p.Module == "repro" && p.Name != "main"
+	},
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil || !isOptionName(fn.Name.Name) {
+				continue
+			}
+			checked := validatedObjects(pass, fn.Body)
+			for _, field := range fn.Type.Params.List {
+				if exemptType(pass.TypeOf(field.Type)) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo().Defs[name]
+					if obj == nil || checked[obj] {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"option %s stores parameter %s without validating it: reject invalid values at construction so misconfiguration fails at the call site, not inside a worker pool", fn.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isOptionName reports whether name is an exported With-prefixed option
+// constructor (WithAlpha yes, Without no, With no).
+func isOptionName(name string) bool {
+	if len(name) <= len("With") || name[:4] != "With" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(name[4:])
+	return unicode.IsUpper(r)
+}
+
+// exemptType reports whether every value of t is legal by construction:
+// booleans and unsigned integers.
+func exemptType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Bool, types.Uint, types.Uint8, types.Uint16, types.Uint32,
+		types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// validatedObjects collects every object referenced inside a validating
+// position: an if condition or init, or a switch tag/case expression,
+// anywhere in body (closures included).
+func validatedObjects(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	checked := map[types.Object]bool{}
+	record := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.TypesInfo().Uses[id]; obj != nil {
+					checked[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			record(n.Init)
+			record(n.Cond)
+		case *ast.SwitchStmt:
+			record(n.Init)
+			record(n.Tag)
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						record(e)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return checked
+}

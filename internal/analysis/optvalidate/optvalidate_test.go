@@ -1,0 +1,29 @@
+package optvalidate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/optvalidate"
+)
+
+func TestOptvalidateFixture(t *testing.T) {
+	analysistest.Run(t, optvalidate.Analyzer, "ov")
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		pkg  framework.Package
+		want bool
+	}{
+		{framework.Package{ImportPath: "repro", Name: "fairness", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/internal/stream", Name: "stream", Module: "repro"}, true},
+		{framework.Package{ImportPath: "repro/cmd/dfaudit", Name: "main", Module: "repro"}, false},
+	}
+	for _, c := range cases {
+		if got := optvalidate.Analyzer.AppliesTo(&c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%s) = %v, want %v", c.pkg.ImportPath, got, c.want)
+		}
+	}
+}

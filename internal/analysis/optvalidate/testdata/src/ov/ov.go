@@ -1,0 +1,82 @@
+// Package ov is the optvalidate fixture: With* options that store
+// unvalidated knobs, next to the validating patterns that pass.
+package ov
+
+import "errors"
+
+type config struct {
+	level   float64
+	workers int
+	seed    uint64
+	verbose bool
+	table   *Table
+	err     error
+}
+
+// Table stands in for a pointer-valued dependency.
+type Table struct{ rows int }
+
+// Option mutates a config at construction time.
+type Option func(*config)
+
+// WithLevel stores an arbitrary float without a range check — a level
+// of -3 or 40 silently corrupts every downstream interval.
+func WithLevel(level float64) Option { // want `option WithLevel stores parameter level without validating it`
+	return func(c *config) { c.level = level }
+}
+
+// WithWorkers validates inside the returned closure: still a check.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.err = errors.New("workers must be positive")
+			return
+		}
+		c.workers = n
+	}
+}
+
+// WithConfidence validates eagerly, before building the closure.
+func WithConfidence(level float64) Option {
+	if level <= 0 || level >= 1 {
+		return func(c *config) { c.err = errors.New("level must be in (0,1)") }
+	}
+	return func(c *config) { c.level = level }
+}
+
+// WithSeed is exempt: every uint64 is a valid seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithVerbose is exempt: both booleans are legal.
+func WithVerbose(on bool) Option {
+	return func(c *config) { c.verbose = on }
+}
+
+// WithTable forgets the nil check — the panic surfaces rows deep in a
+// worker instead of at the call site.
+func WithTable(t *Table) Option { // want `option WithTable stores parameter t without validating it`
+	return func(c *config) { c.table = t }
+}
+
+// WithCheckedTable nil-checks up front.
+func WithCheckedTable(t *Table) Option {
+	if t == nil {
+		return func(c *config) { c.err = errors.New("nil table") }
+	}
+	return func(c *config) { c.table = t }
+}
+
+// WithMode validates via switch.
+func WithMode(mode int) Option {
+	switch mode {
+	case 0, 1, 2:
+		return func(c *config) { c.workers = mode }
+	}
+	return func(c *config) { c.err = errors.New("unknown mode") }
+}
+
+// Without is not an option constructor: the prefix check requires an
+// upper-case rune after With.
+func Without(level float64) float64 { return -level }

@@ -92,12 +92,13 @@ func sampleInto(cpt *core.CPT, r *rng.RNG, probs []float64, alphaPost, groupTota
 // approximation of the credible set Θ; core.FrameworkEpsilon over them is
 // the "Θ as a set of plausible distributions" reading of Definition 3.1.
 // Sample i is drawn from RNG substream (seed, i), so the returned set is
-// deterministic for a fixed r regardless of GOMAXPROCS.
-func (m *DirichletMultinomial) SamplePosterior(n int, r *rng.RNG) ([]*core.CPT, error) {
-	return m.samplePosterior(n, r, 0)
+// deterministic for a fixed r regardless of GOMAXPROCS. ctx must be
+// non-nil and cancels the draw cooperatively.
+func (m *DirichletMultinomial) SamplePosterior(ctx context.Context, n int, r *rng.RNG) ([]*core.CPT, error) {
+	return m.samplePosterior(ctx, n, r, 0)
 }
 
-func (m *DirichletMultinomial) samplePosterior(n int, r *rng.RNG, workers int) ([]*core.CPT, error) {
+func (m *DirichletMultinomial) samplePosterior(ctx context.Context, n int, r *rng.RNG, workers int) ([]*core.CPT, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("bayes: need n > 0 samples, got %d", n)
 	}
@@ -112,7 +113,7 @@ func (m *DirichletMultinomial) samplePosterior(n int, r *rng.RNG, workers int) (
 		probs []float64
 	}
 	out := make([]*core.CPT, n)
-	err := par.DoErr(workers, n, func() *scratch {
+	err := par.DoCtx(ctx, workers, n, func() *scratch {
 		return &scratch{rng: rng.New(0), probs: make([]float64, k)}
 	}, func(s *scratch, i int) error {
 		cpt, err := core.NewCPT(space, outcomes)
@@ -156,23 +157,11 @@ type EpsilonPosterior struct {
 // SamplePosterior it never materializes the sampled CPTs: each worker
 // reuses one pooled CPT buffer across all samples it evaluates, so the
 // steady-state loop is allocation-free. Results are deterministic for a
-// fixed r regardless of GOMAXPROCS.
-func (m *DirichletMultinomial) EpsilonCredible(n int, level float64, r *rng.RNG) (EpsilonPosterior, error) {
-	return m.epsilonCredible(context.Background(), n, level, r, 0)
-}
-
-// EpsilonCredibleCtx is EpsilonCredible with cooperative cancellation and
-// an explicit worker count (0 = one per CPU): when ctx is canceled
-// mid-run the workers stop claiming samples and the call returns
-// ctx.Err() promptly instead of a summary.
-func (m *DirichletMultinomial) EpsilonCredibleCtx(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
-	return m.epsilonCredible(ctx, n, level, r, workers)
-}
-
-func (m *DirichletMultinomial) epsilonCredible(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// fixed r regardless of both GOMAXPROCS and workers (0 = one per CPU).
+// ctx must be non-nil: when it is canceled mid-run the workers stop
+// claiming samples and the call returns ctx.Err() promptly instead of a
+// summary.
+func (m *DirichletMultinomial) EpsilonCredible(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
 	if !(level > 0 && level < 1) {
 		return EpsilonPosterior{}, fmt.Errorf("bayes: credible level %v outside (0,1)", level)
 	}

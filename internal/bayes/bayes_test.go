@@ -61,11 +61,11 @@ func TestPosteriorPredictiveIsEq7(t *testing.T) {
 func TestSamplePosteriorShapeAndDeterminism(t *testing.T) {
 	c := demoCounts(t)
 	m, _ := NewDirichletMultinomial(c, 1)
-	s1, err := m.SamplePosterior(5, rng.New(42))
+	s1, err := m.SamplePosterior(context.Background(), 5, rng.New(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := m.SamplePosterior(5, rng.New(42))
+	s2, err := m.SamplePosterior(context.Background(), 5, rng.New(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestSamplePosteriorShapeAndDeterminism(t *testing.T) {
 			}
 		}
 	}
-	if _, err := m.SamplePosterior(0, rng.New(1)); err == nil {
+	if _, err := m.SamplePosterior(context.Background(), 0, rng.New(1)); err == nil {
 		t.Error("n=0 accepted")
 	}
 }
@@ -89,7 +89,7 @@ func TestSamplePosteriorShapeAndDeterminism(t *testing.T) {
 func TestSamplePosteriorRowsAreDistributions(t *testing.T) {
 	c := demoCounts(t)
 	m, _ := NewDirichletMultinomial(c, 0.5)
-	samples, err := m.SamplePosterior(50, rng.New(7))
+	samples, err := m.SamplePosterior(context.Background(), 50, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,11 @@ func TestPosteriorConcentratesWithData(t *testing.T) {
 	}
 	small, _ := NewDirichletMultinomial(build(1), 1)
 	big, _ := NewDirichletMultinomial(build(100), 1)
-	ps, err := small.EpsilonCredible(400, 0.9, rng.New(11))
+	ps, err := small.EpsilonCredible(context.Background(), 400, 0.9, rng.New(11), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := big.EpsilonCredible(400, 0.9, rng.New(11))
+	pb, err := big.EpsilonCredible(context.Background(), 400, 0.9, rng.New(11), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestPosteriorConcentratesWithData(t *testing.T) {
 func TestEpsilonCredibleInvariants(t *testing.T) {
 	c := demoCounts(t)
 	m, _ := NewDirichletMultinomial(c, 1)
-	p, err := m.EpsilonCredible(300, 0.95, rng.New(3))
+	p, err := m.EpsilonCredible(context.Background(), 300, 0.95, rng.New(3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestEpsilonCredibleInvariants(t *testing.T) {
 			t.Fatal("samples not sorted")
 		}
 	}
-	if _, err := m.EpsilonCredible(10, 1.5, rng.New(1)); err == nil {
+	if _, err := m.EpsilonCredible(context.Background(), 10, 1.5, rng.New(1), 0); err == nil {
 		t.Error("bad level accepted")
 	}
 }
@@ -188,7 +188,7 @@ func TestPosteriorDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, _ := NewDirichletMultinomial(c, 1)
 	var results []EpsilonPosterior
 	for _, workers := range []int{1, 2, 8} {
-		p, err := m.epsilonCredible(context.Background(), 200, 0.9, rng.New(31), workers)
+		p, err := m.EpsilonCredible(context.Background(), 200, 0.9, rng.New(31), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,11 +207,11 @@ func TestPosteriorDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	// SamplePosterior shares the substream layout, so the materialized
 	// CPTs must also be worker-count independent.
-	s1, err := m.samplePosterior(20, rng.New(33), 1)
+	s1, err := m.samplePosterior(context.Background(), 20, rng.New(33), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s8, err := m.samplePosterior(20, rng.New(33), 8)
+	s8, err := m.samplePosterior(context.Background(), 20, rng.New(33), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestEpsilonCredibleMatchesSamplePosterior(t *testing.T) {
 	c := demoCounts(t)
 	m, _ := NewDirichletMultinomial(c, 1)
 	const n = 100
-	thetas, err := m.SamplePosterior(n, rng.New(55))
+	thetas, err := m.SamplePosterior(context.Background(), n, rng.New(55))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestEpsilonCredibleMatchesSamplePosterior(t *testing.T) {
 		want = append(want, res.Epsilon)
 	}
 	sort.Float64s(want)
-	p, err := m.EpsilonCredible(n, 0.9, rng.New(55))
+	p, err := m.EpsilonCredible(context.Background(), n, 0.9, rng.New(55), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,14 +264,14 @@ func TestEpsilonCredibleCtxCanceled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := m.EpsilonCredibleCtx(ctx, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
+	if _, err := m.EpsilonCredible(ctx, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	a, err := m.EpsilonCredibleCtx(context.Background(), 50, 0.9, rng.New(9), 0)
+	a, err := m.EpsilonCredible(context.Background(), 50, 0.9, rng.New(9), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.EpsilonCredible(50, 0.9, rng.New(9))
+	b, err := m.EpsilonCredible(context.Background(), 50, 0.9, rng.New(9), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

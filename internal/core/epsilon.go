@@ -47,7 +47,10 @@ type EpsilonResult struct {
 // a positive probability yields ε = +Inf with Finite=false.
 //
 // Epsilon performs no allocations on the success path, so per-replicate
-// resampling loops can call it freely.
+// resampling loops can call it freely (the dfvet hotpath analyzer and
+// the BenchmarkHotPath 0 allocs/op gate both enforce this).
+//
+//df:hotpath
 func Epsilon(c *CPT) (EpsilonResult, error) {
 	if err := c.Validate(); err != nil {
 		return EpsilonResult{}, err

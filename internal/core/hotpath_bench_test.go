@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// BenchmarkHotPathEpsilon asserts the //df:hotpath contract on Epsilon
+// at the benchmark layer: the CI bench smoke parses every BenchmarkHotPath*
+// line and fails unless it reports 0 allocs/op (scripts/alloc_gate.sh).
+func BenchmarkHotPathEpsilon(b *testing.B) {
+	space := MustSpace(
+		Attr{Name: "g", Values: []string{"a", "b", "c", "d"}},
+		Attr{Name: "h", Values: []string{"x", "y"}},
+	)
+	cpt := MustCPT(space, []string{"no", "yes"})
+	for g := 0; g < space.Size(); g++ {
+		rate := 0.2 + 0.6*float64(g)/float64(space.Size()-1)
+		cpt.MustSetRow(g, 10+float64(g), 1-rate, rate)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Epsilon(cpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"os"
 	"strings"
@@ -213,7 +214,7 @@ func TestSmoothingSweepMonotoneTail(t *testing.T) {
 }
 
 func TestCredibleIntervalExperiment(t *testing.T) {
-	r, err := CredibleInterval(census.SmallConfig(), 200, 9)
+	r, err := CredibleInterval(context.Background(), census.SmallConfig(), 200, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -134,8 +135,9 @@ type CredibleResult struct {
 	PointEps  float64
 }
 
-// CredibleInterval samples the ε posterior.
-func CredibleInterval(cfg census.Config, samples int, seed uint64) (CredibleResult, error) {
+// CredibleInterval samples the ε posterior. ctx must be non-nil and
+// cancels the posterior sampling cooperatively.
+func CredibleInterval(ctx context.Context, cfg census.Config, samples int, seed uint64) (CredibleResult, error) {
 	train, _, err := census.Generate(cfg)
 	if err != nil {
 		return CredibleResult{}, err
@@ -148,7 +150,7 @@ func CredibleInterval(cfg census.Config, samples int, seed uint64) (CredibleResu
 	if err != nil {
 		return CredibleResult{}, err
 	}
-	post, err := model.EpsilonCredible(samples, 0.95, rng.New(seed))
+	post, err := model.EpsilonCredible(ctx, samples, 0.95, rng.New(seed), 0)
 	if err != nil {
 		return CredibleResult{}, err
 	}

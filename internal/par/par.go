@@ -68,26 +68,21 @@ func Do[S any](workers, n int, newState func() S, task func(state S, i int)) {
 	wg.Wait()
 }
 
-// DoErr is Do for tasks that can fail. Every task runs regardless of
-// other tasks' failures (slots stay deterministic); afterwards the error
-// of the lowest-indexed failed task is returned — the same error no
-// matter how tasks were scheduled — or nil if all succeeded.
-func DoErr[S any](workers, n int, newState func() S, task func(state S, i int) error) error {
-	return DoCtx(context.Background(), workers, n, newState, task)
-}
-
-// DoCtx is DoErr with cooperative cancellation: workers stop claiming
-// new tasks as soon as ctx is done, and the call returns ctx.Err().
-// Cancellation is checked between tasks, not inside them, so the latency
-// of a cancel is bounded by one task's duration per worker. When ctx is
-// never canceled the behavior (and the slot-determinism guarantee) is
-// identical to DoErr.
+// DoCtx is Do for tasks that can fail, with cooperative cancellation:
+// workers stop claiming new tasks as soon as ctx is done, and the call
+// returns ctx.Err(). Cancellation is checked between tasks, not inside
+// them, so the latency of a cancel is bounded by one task's duration per
+// worker. When ctx is never canceled, every task runs regardless of
+// other tasks' failures (slots stay deterministic) and the error of the
+// lowest-indexed failed task is returned — the same error no matter how
+// tasks were scheduled — or nil if all succeeded.
+//
+// ctx must be non-nil: this package never fabricates a root context
+// (the ctxflow invariant), so callers without a deadline pass
+// context.Background() from main or a test.
 func DoCtx[S any](ctx context.Context, workers, n int, newState func() S, task func(state S, i int) error) error {
 	if n <= 0 {
 		return nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -66,7 +66,7 @@ func TestDoZeroTasks(t *testing.T) {
 
 func TestDoErrReturnsLowestIndexedError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		err := DoErr(workers, 100, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+		err := DoCtx(context.Background(), workers, 100, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
 			if i == 13 || i == 77 {
 				return fmt.Errorf("task %d failed", i)
 			}
@@ -76,10 +76,10 @@ func TestDoErrReturnsLowestIndexedError(t *testing.T) {
 			t.Fatalf("workers=%d: got %v, want task 13's error", workers, err)
 		}
 	}
-	if err := DoErr(4, 50, func() struct{} { return struct{}{} }, func(struct{}, int) error { return nil }); err != nil {
+	if err := DoCtx(context.Background(), 4, 50, func() struct{} { return struct{}{} }, func(struct{}, int) error { return nil }); err != nil {
 		t.Fatalf("all-success returned %v", err)
 	}
-	if err := DoErr(4, 0, func() struct{} { return struct{}{} }, func(struct{}, int) error { return fmt.Errorf("x") }); err != nil {
+	if err := DoCtx(context.Background(), 4, 0, func() struct{} { return struct{}{} }, func(struct{}, int) error { return fmt.Errorf("x") }); err != nil {
 		t.Fatalf("n=0 returned %v", err)
 	}
 }
@@ -120,7 +120,7 @@ func TestDoCtxCancelMidRun(t *testing.T) {
 	}
 }
 
-func TestDoCtxBackgroundMatchesDoErr(t *testing.T) {
+func TestDoCtxBackgroundRunsEveryTaskOnce(t *testing.T) {
 	hits := make([]int32, 500)
 	err := DoCtx(context.Background(), 4, len(hits), func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
 		atomic.AddInt32(&hits[i], 1)

@@ -1,0 +1,44 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkHotPathApplyBatch asserts the //df:hotpath contract on
+// Applier.ApplyBatch at the benchmark layer: the CI bench smoke parses
+// every BenchmarkHotPath* line and fails unless it reports 0 allocs/op
+// (scripts/alloc_gate.sh).
+func BenchmarkHotPathApplyBatch(b *testing.B) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c", "d"}})
+	cpt := core.MustCPT(space, []string{"no", "yes"})
+	rates := []float64{0.2, 0.4, 0.6, 0.8}
+	for g, r := range rates {
+		cpt.MustSetRow(g, 10, 1-r, r)
+	}
+	plan, err := Binary(cpt, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := plan.NewApplier(space.Size(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	groups := make([]int, batch)
+	proto := make([]int, batch)
+	for i := range groups {
+		groups[i] = i % space.Size()
+		proto[i] = (i / 3) % 2
+	}
+	decisions := make([]int, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(decisions, proto)
+		if _, err := app.ApplyBatch(uint64(i)*batch, groups, decisions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -375,21 +375,14 @@ func (a *Applier) Seed() uint64 { return a.seed }
 // batch into several (with the corresponding tickets) or racing batches
 // from many goroutines yields the same decisions. The whole batch is
 // validated before any element is modified; the hot path performs no
-// allocations. Returns the number of decisions changed.
+// allocations (the dfvet hotpath analyzer and the BenchmarkHotPath
+// 0 allocs/op gate both enforce this). Returns the number of decisions
+// changed.
+//
+//df:hotpath
 func (a *Applier) ApplyBatch(ticket uint64, groups, decisions []int) (int, error) {
-	if len(groups) != len(decisions) {
-		return 0, fmt.Errorf("repair: ApplyBatch got %d groups vs %d decisions", len(groups), len(decisions))
-	}
-	for i, g := range groups {
-		if g < 0 || g >= len(a.covered) {
-			return 0, fmt.Errorf("repair: batch element %d: group %d out of range", i, g)
-		}
-		if !a.covered[g] {
-			return 0, fmt.Errorf("repair: batch element %d: group %d not covered by plan", i, g)
-		}
-		if d := decisions[i]; d != 0 && d != 1 {
-			return 0, fmt.Errorf("repair: batch element %d: decision %d is not binary", i, d)
-		}
+	if err := a.validateBatch(groups, decisions); err != nil {
+		return 0, err
 	}
 	changed := 0
 	var r rng.RNG
@@ -413,6 +406,28 @@ func (a *Applier) ApplyBatch(ticket uint64, groups, decisions []int) (int, error
 		}
 	}
 	return changed, nil
+}
+
+// validateBatch is ApplyBatch's cold prologue, kept out of the annotated
+// hot function so its error formatting never costs the success path an
+// allocation: when the batch is valid (the steady state) it touches only
+// the index arrays; errors allocate, but only on the reject path.
+func (a *Applier) validateBatch(groups, decisions []int) error {
+	if len(groups) != len(decisions) {
+		return fmt.Errorf("repair: ApplyBatch got %d groups vs %d decisions", len(groups), len(decisions))
+	}
+	for i, g := range groups {
+		if g < 0 || g >= len(a.covered) {
+			return fmt.Errorf("repair: batch element %d: group %d out of range", i, g)
+		}
+		if !a.covered[g] {
+			return fmt.Errorf("repair: batch element %d: group %d not covered by plan", i, g)
+		}
+		if d := decisions[i]; d != 0 && d != 1 {
+			return fmt.Errorf("repair: batch element %d: decision %d is not binary", i, d)
+		}
+	}
+	return nil
 }
 
 func clamp(v, lo, hi float64) float64 {

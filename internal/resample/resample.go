@@ -49,26 +49,13 @@ type Interval struct {
 // all mass in fewer than two groups), which is reported via InfiniteShare
 // and treated as +Inf in the percentiles.
 //
-// The interval for a given (counts, alpha, b, level, r) is deterministic
-// and independent of GOMAXPROCS.
-func EpsilonBootstrap(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
-	return epsilonBootstrap(context.Background(), c, alpha, b, level, r, 0)
-}
-
-// EpsilonBootstrapCtx is EpsilonBootstrap with cooperative cancellation
-// and an explicit worker count (0 = one per CPU): when ctx is canceled
-// mid-run the workers stop claiming replicates and the call returns
-// ctx.Err() promptly instead of an interval.
-func EpsilonBootstrapCtx(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
-	return epsilonBootstrap(ctx, c, alpha, b, level, r, workers)
-}
-
-// epsilonBootstrap is EpsilonBootstrap with an explicit context and
-// worker count (0 = one per CPU), used by tests to pin the pool size.
-func epsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// ctx must be non-nil and carries cooperative cancellation: when it is
+// canceled mid-run the workers stop claiming replicates and the call
+// returns ctx.Err() promptly instead of an interval. workers pins the
+// pool size (0 = one per CPU). The interval for a given (counts, alpha,
+// b, level, r) is deterministic and independent of both GOMAXPROCS and
+// workers.
+func EpsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
 	n, point, err := validateBootstrap(c, alpha, b, level)
 	if err != nil {
 		return Interval{}, err

@@ -27,7 +27,7 @@ func makeCounts(t *testing.T, cells ...float64) *core.Counts {
 
 func TestBootstrapCoversPoint(t *testing.T) {
 	c := makeCounts(t, 400, 600, 700, 300)
-	iv, err := EpsilonBootstrap(c, 0, 400, 0.95, rng.New(1))
+	iv, err := EpsilonBootstrap(context.Background(), c, 0, 400, 0.95, rng.New(1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +49,11 @@ func TestBootstrapCoversPoint(t *testing.T) {
 func TestBootstrapWidthShrinksWithData(t *testing.T) {
 	small := makeCounts(t, 40, 60, 70, 30)
 	big := makeCounts(t, 4000, 6000, 7000, 3000)
-	ivSmall, err := EpsilonBootstrap(small, 0, 300, 0.9, rng.New(2))
+	ivSmall, err := EpsilonBootstrap(context.Background(), small, 0, 300, 0.9, rng.New(2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ivBig, err := EpsilonBootstrap(big, 0, 300, 0.9, rng.New(2))
+	ivBig, err := EpsilonBootstrap(context.Background(), big, 0, 300, 0.9, rng.New(2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +67,14 @@ func TestBootstrapWidthShrinksWithData(t *testing.T) {
 // unsmoothed replicates go infinite; smoothing removes that entirely.
 func TestBootstrapSparsityDiagnostic(t *testing.T) {
 	c := makeCounts(t, 99, 1, 50, 50) // group a has a single "yes"
-	raw, err := EpsilonBootstrap(c, 0, 300, 0.9, rng.New(3))
+	raw, err := EpsilonBootstrap(context.Background(), c, 0, 300, 0.9, rng.New(3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if raw.InfiniteShare == 0 {
 		t.Fatal("expected some infinite replicates on the sparse table")
 	}
-	smoothed, err := EpsilonBootstrap(c, 1, 300, 0.9, rng.New(3))
+	smoothed, err := EpsilonBootstrap(context.Background(), c, 1, 300, 0.9, rng.New(3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +88,11 @@ func TestBootstrapSparsityDiagnostic(t *testing.T) {
 
 func TestBootstrapDeterministicUnderSeed(t *testing.T) {
 	c := makeCounts(t, 400, 600, 700, 300)
-	a, err := EpsilonBootstrap(c, 1, 100, 0.9, rng.New(7))
+	a, err := EpsilonBootstrap(context.Background(), c, 1, 100, 0.9, rng.New(7), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EpsilonBootstrap(c, 1, 100, 0.9, rng.New(7))
+	b, err := EpsilonBootstrap(context.Background(), c, 1, 100, 0.9, rng.New(7), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,21 +103,21 @@ func TestBootstrapDeterministicUnderSeed(t *testing.T) {
 
 func TestBootstrapValidation(t *testing.T) {
 	c := makeCounts(t, 10, 10, 10, 10)
-	if _, err := EpsilonBootstrap(c, 0, 0, 0.9, rng.New(1)); err == nil {
+	if _, err := EpsilonBootstrap(context.Background(), c, 0, 0, 0.9, rng.New(1), 0); err == nil {
 		t.Error("B=0 accepted")
 	}
-	if _, err := EpsilonBootstrap(c, 0, 10, 1.5, rng.New(1)); err == nil {
+	if _, err := EpsilonBootstrap(context.Background(), c, 0, 10, 1.5, rng.New(1), 0); err == nil {
 		t.Error("bad level accepted")
 	}
 	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b"}})
 	zero := core.MustCounts(space, []string{"no", "yes"})
-	if _, err := EpsilonBootstrap(zero, 0, 10, 0.9, rng.New(1)); err == nil {
+	if _, err := EpsilonBootstrap(context.Background(), zero, 0, 10, 0.9, rng.New(1), 0); err == nil {
 		t.Error("empty counts accepted")
 	}
 	frac := core.MustCounts(space, []string{"no", "yes"})
 	frac.MustAdd(0, 0, 1.5)
 	frac.MustAdd(1, 1, 1)
-	if _, err := EpsilonBootstrap(frac, 0, 10, 0.9, rng.New(1)); err == nil {
+	if _, err := EpsilonBootstrap(context.Background(), frac, 0, 10, 0.9, rng.New(1), 0); err == nil {
 		t.Error("fractional counts accepted")
 	}
 }
@@ -147,7 +147,7 @@ func TestBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, alpha := range []float64{0, 1} {
 		var intervals []Interval
 		for _, workers := range []int{1, 2, 8} {
-			iv, err := epsilonBootstrap(context.Background(), c, alpha, 200, 0.95, rng.New(17), workers)
+			iv, err := EpsilonBootstrap(context.Background(), c, alpha, 200, 0.95, rng.New(17), workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,7 +173,7 @@ func TestBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
 // report them via InfiniteShare.
 func TestBootstrapDegenerateReplicatesAreInfNotError(t *testing.T) {
 	c := makeCounts(t, 1, 1, 1, 1) // four observations over four cells
-	iv, err := EpsilonBootstrap(c, 0, 400, 0.9, rng.New(5))
+	iv, err := EpsilonBootstrap(context.Background(), c, 0, 400, 0.9, rng.New(5), 0)
 	if err != nil {
 		t.Fatalf("degenerate replicates failed the call: %v", err)
 	}
@@ -193,7 +193,7 @@ func TestBootstrapDegenerateReplicatesAreInfNotError(t *testing.T) {
 // distribution — their interval endpoints must agree closely at high B.
 func TestBootstrapMatchesSerialAliasDistribution(t *testing.T) {
 	c := makeCounts(t, 400, 600, 700, 300)
-	fast, err := EpsilonBootstrap(c, 1, 3000, 0.9, rng.New(21))
+	fast, err := EpsilonBootstrap(context.Background(), c, 1, 3000, 0.9, rng.New(21), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,15 +224,15 @@ func TestEpsilonBootstrapCtxCanceled(t *testing.T) {
 	c := makeCounts(t, 400, 600, 700, 300)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := EpsilonBootstrapCtx(ctx, c, 0, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
+	if _, err := EpsilonBootstrap(ctx, c, 0, 1000, 0.95, rng.New(1), 0); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// A background context behaves exactly like EpsilonBootstrap.
-	a, err := EpsilonBootstrapCtx(context.Background(), c, 0, 50, 0.95, rng.New(9), 0)
+	// A background context and a canceled one must differ only in outcome.
+	a, err := EpsilonBootstrap(context.Background(), c, 0, 50, 0.95, rng.New(9), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EpsilonBootstrap(c, 0, 50, 0.95, rng.New(9))
+	b, err := EpsilonBootstrap(context.Background(), c, 0, 50, 0.95, rng.New(9), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,33 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkHotPathObserveBatch asserts the //df:hotpath contract on
+// Monitor.ObserveBatch at the benchmark layer: the CI bench smoke
+// parses every BenchmarkHotPath* line and fails unless it reports
+// 0 allocs/op (scripts/alloc_gate.sh).
+func BenchmarkHotPathObserveBatch(b *testing.B) {
+	space := core.MustSpace(core.Attr{Name: "g", Values: []string{"a", "b", "c", "d"}})
+	m, err := NewMonitor(space, []string{"no", "yes"}, 10000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	groups := make([]int, batch)
+	outcomes := make([]int, batch)
+	for i := range groups {
+		groups[i] = i % space.Size()
+		outcomes[i] = (i / 3) % 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ObserveBatch(groups, outcomes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

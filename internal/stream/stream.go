@@ -186,8 +186,28 @@ func (m *Monitor) Observe(group, outcome int) error {
 // atomic add) and lands in a single shard, amortizing the decay
 // multiply and lock traffic across the batch. Indices are validated
 // up front; an invalid element rejects the entire batch before any
-// state changes.
+// state changes. The success path performs no allocations (the dfvet
+// hotpath analyzer and the BenchmarkHotPath 0 allocs/op gate both
+// enforce this).
+//
+//df:hotpath
 func (m *Monitor) ObserveBatch(groups, outcomes []int) error {
+	if err := m.validateBatch(groups, outcomes); err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	n := int64(len(groups))
+	t0 := m.ticket.Add(n) - n
+	m.eng.ingest(t0, groups, outcomes)
+	return nil
+}
+
+// validateBatch is ObserveBatch's cold prologue, kept out of the
+// annotated hot function so its error formatting never costs the
+// success path an allocation.
+func (m *Monitor) validateBatch(groups, outcomes []int) error {
 	if len(groups) != len(outcomes) {
 		return fmt.Errorf("stream: ObserveBatch got %d groups vs %d outcomes", len(groups), len(outcomes))
 	}
@@ -200,12 +220,6 @@ func (m *Monitor) ObserveBatch(groups, outcomes []int) error {
 			return fmt.Errorf("stream: batch element %d: outcome %d out of range", i, outcomes[i])
 		}
 	}
-	if len(groups) == 0 {
-		return nil
-	}
-	n := int64(len(groups))
-	t0 := m.ticket.Add(n) - n
-	m.eng.ingest(t0, groups, outcomes)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package fairness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -98,18 +99,18 @@ type RepairPlanGroup struct {
 	// Group is the human-readable intersection label; GroupIndex its
 	// row-major index in the protected space (the index decision batches
 	// use).
-	Group      string  `json:"group"`
-	GroupIndex int     `json:"group_index"`
-	Weight     float64 `json:"weight"`
-	OldRate    float64 `json:"old_rate"`
-	NewRate    float64 `json:"new_rate"`
+	Group      string    `json:"group"`
+	GroupIndex int       `json:"group_index"`
+	Weight     JSONFloat `json:"weight"`
+	OldRate    JSONFloat `json:"old_rate"`
+	NewRate    JSONFloat `json:"new_rate"`
 	// FlipPosToNeg / FlipNegToPos are the randomized post-processing
 	// mixing probabilities; at most one is nonzero.
-	FlipPosToNeg float64 `json:"flip_pos_to_neg"`
-	FlipNegToPos float64 `json:"flip_neg_to_pos"`
+	FlipPosToNeg JSONFloat `json:"flip_pos_to_neg"`
+	FlipNegToPos JSONFloat `json:"flip_neg_to_pos"`
 	// LevelingDown is max(0, old_rate − new_rate): the positive rate the
 	// repair takes away from this group.
-	LevelingDown float64 `json:"leveling_down"`
+	LevelingDown JSONFloat `json:"leveling_down"`
 }
 
 // RepairLadderRow reports ε for one subset of the protected attributes
@@ -134,28 +135,28 @@ type RepairPlan struct {
 	// TargetEpsilon is the configured target; AchievedEpsilon the ε of
 	// the repaired mechanism (at most the target, up to rounding);
 	// EpsilonBefore the ε of the mechanism the plan was computed from.
-	TargetEpsilon   float64   `json:"target_epsilon"`
+	TargetEpsilon   JSONFloat `json:"target_epsilon"`
 	EpsilonBefore   JSONFloat `json:"epsilon_before"`
 	AchievedEpsilon JSONFloat `json:"achieved_epsilon"`
 	Estimator       string    `json:"estimator"`
-	Alpha           float64   `json:"alpha"`
+	Alpha           JSONFloat `json:"alpha"`
 	// Observations is the total count mass the plan was computed from;
 	// ExpectedChanged = Movement × Observations is the expected number of
 	// those decisions a replay through the plan would change.
-	Observations    float64 `json:"observations"`
-	NumGroups       int     `json:"num_groups"`
-	PositiveOutcome string  `json:"positive_outcome"`
+	Observations    JSONFloat `json:"observations"`
+	NumGroups       int       `json:"num_groups"`
+	PositiveOutcome string    `json:"positive_outcome"`
 	// Lo and Hi bound the repaired positive rates.
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
+	Lo JSONFloat `json:"lo"`
+	Hi JSONFloat `json:"hi"`
 	// Movement is the expected fraction of decisions changed.
-	Movement        float64 `json:"movement"`
-	ExpectedChanged float64 `json:"expected_changed"`
+	Movement        JSONFloat `json:"movement"`
+	ExpectedChanged JSONFloat `json:"expected_changed"`
 	// NoLevelingDown records whether the guard was on; LevelingDown is
 	// the expected fraction of individuals whose positive decision the
 	// repair takes away (0 under the guard).
-	NoLevelingDown bool    `json:"no_leveling_down"`
-	LevelingDown   float64 `json:"leveling_down"`
+	NoLevelingDown bool      `json:"no_leveling_down"`
+	LevelingDown   JSONFloat `json:"leveling_down"`
 	// Seed drives the deterministic decision randomization of Appliers
 	// compiled from this plan.
 	Seed   uint64            `json:"seed"`
@@ -188,15 +189,20 @@ func (p *RepairPlan) RenderJSON(w io.Writer) error {
 // plan is self-contained, so this works equally on plans computed in
 // process and plans decoded from JSON.
 func (p *RepairPlan) Applier() (*Applier, error) {
-	inner := repair.Plan{TargetEpsilon: p.TargetEpsilon, Lo: p.Lo, Hi: p.Hi, Movement: p.Movement}
+	inner := repair.Plan{
+		TargetEpsilon: float64(p.TargetEpsilon),
+		Lo:            float64(p.Lo),
+		Hi:            float64(p.Hi),
+		Movement:      float64(p.Movement),
+	}
 	for _, g := range p.Groups {
 		inner.Groups = append(inner.Groups, repair.GroupPlan{
 			Group:        g.GroupIndex,
-			Weight:       g.Weight,
-			OldRate:      g.OldRate,
-			NewRate:      g.NewRate,
-			FlipPosToNeg: g.FlipPosToNeg,
-			FlipNegToPos: g.FlipNegToPos,
+			Weight:       float64(g.Weight),
+			OldRate:      float64(g.OldRate),
+			NewRate:      float64(g.NewRate),
+			FlipPosToNeg: float64(g.FlipPosToNeg),
+			FlipNegToPos: float64(g.FlipNegToPos),
 		})
 	}
 	app, err := inner.NewApplier(p.NumGroups, p.Seed)
@@ -297,8 +303,12 @@ func MustRepairer(space *Space, outcomes []string, opts ...RepairOption) *Repair
 // table — any *Counts snapshot works, including windows captured from a
 // streaming Monitor, which is what closes the monitoring loop. A table
 // with fewer than two populated groups fails with an error wrapping
-// ErrDegenerateSupport.
-func (r *Repairer) Plan(counts *Counts) (*RepairPlan, error) {
+// ErrDegenerateSupport. ctx must be non-nil; it cancels the parallel
+// ladder computation cooperatively.
+func (r *Repairer) Plan(ctx context.Context, counts *Counts) (*RepairPlan, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("fairness: Repairer.Plan: nil ctx (pass context.Background() if no deadline applies)")
+	}
 	if counts == nil {
 		return nil, fmt.Errorf("fairness: Repairer.Plan: nil counts")
 	}
@@ -315,13 +325,16 @@ func (r *Repairer) Plan(counts *Counts) (*RepairPlan, error) {
 	} else {
 		cpt = counts.Empirical()
 	}
-	return r.planCPT(cpt, counts.Total())
+	return r.planCPT(ctx, cpt, counts.Total())
 }
 
 // PlanCPT computes the repair plan directly from a mechanism CPT (e.g. a
 // model under design rather than an observed table). Observations is
-// taken as the sum of the CPT's group weights.
-func (r *Repairer) PlanCPT(cpt *CPT) (*RepairPlan, error) {
+// taken as the sum of the CPT's group weights. ctx must be non-nil.
+func (r *Repairer) PlanCPT(ctx context.Context, cpt *CPT) (*RepairPlan, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("fairness: Repairer.PlanCPT: nil ctx (pass context.Background() if no deadline applies)")
+	}
 	if cpt == nil {
 		return nil, fmt.Errorf("fairness: Repairer.PlanCPT: nil CPT")
 	}
@@ -332,14 +345,14 @@ func (r *Repairer) PlanCPT(cpt *CPT) (*RepairPlan, error) {
 	for g := 0; g < cpt.Space().Size(); g++ {
 		total += cpt.Weight(g)
 	}
-	return r.planCPT(cpt, total)
+	return r.planCPT(ctx, cpt, total)
 }
 
 // PlanMonitor snapshots a streaming monitor's current effective counts
 // and computes the plan from them: the "ε breach detected → compute a
 // repair" step of the closed loop. The monitor must share the repairer's
-// space and outcomes.
-func (r *Repairer) PlanMonitor(m *Monitor) (*RepairPlan, error) {
+// space and outcomes. ctx must be non-nil.
+func (r *Repairer) PlanMonitor(ctx context.Context, m *Monitor) (*RepairPlan, error) {
 	if m == nil {
 		return nil, fmt.Errorf("fairness: Repairer.PlanMonitor: nil monitor")
 	}
@@ -347,10 +360,10 @@ func (r *Repairer) PlanMonitor(m *Monitor) (*RepairPlan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fairness: Repairer.PlanMonitor: %w", err)
 	}
-	return r.Plan(snap)
+	return r.Plan(ctx, snap)
 }
 
-func (r *Repairer) planCPT(cpt *core.CPT, observations float64) (*RepairPlan, error) {
+func (r *Repairer) planCPT(ctx context.Context, cpt *core.CPT, observations float64) (*RepairPlan, error) {
 	cfg := r.cfg
 	before, err := core.Epsilon(cpt)
 	if err != nil {
@@ -384,36 +397,36 @@ func (r *Repairer) planCPT(cpt *core.CPT, observations float64) (*RepairPlan, er
 	}
 	plan := &RepairPlan{
 		SchemaVersion:   RepairPlanSchemaVersion,
-		TargetEpsilon:   cfg.target,
+		TargetEpsilon:   JSONFloat(cfg.target),
 		EpsilonBefore:   JSONFloat(before.Epsilon),
 		AchievedEpsilon: JSONFloat(after.Epsilon),
 		Estimator:       estimator,
-		Alpha:           cfg.alpha,
-		Observations:    observations,
+		Alpha:           JSONFloat(cfg.alpha),
+		Observations:    JSONFloat(observations),
 		NumGroups:       r.space.Size(),
 		PositiveOutcome: r.outcomes[1],
-		Lo:              inner.Lo,
-		Hi:              inner.Hi,
-		Movement:        inner.Movement,
-		ExpectedChanged: inner.Movement * observations,
+		Lo:              JSONFloat(inner.Lo),
+		Hi:              JSONFloat(inner.Hi),
+		Movement:        JSONFloat(inner.Movement),
+		ExpectedChanged: JSONFloat(inner.Movement * observations),
 		NoLevelingDown:  cfg.noLevelDown,
-		LevelingDown:    inner.LevelingDown,
+		LevelingDown:    JSONFloat(inner.LevelingDown),
 		Seed:            cfg.seed,
 	}
 	for _, gp := range inner.Groups {
 		plan.Groups = append(plan.Groups, RepairPlanGroup{
 			Group:        r.space.Label(gp.Group),
 			GroupIndex:   gp.Group,
-			Weight:       gp.Weight,
-			OldRate:      gp.OldRate,
-			NewRate:      gp.NewRate,
-			FlipPosToNeg: gp.FlipPosToNeg,
-			FlipNegToPos: gp.FlipNegToPos,
-			LevelingDown: math.Max(0, gp.OldRate-gp.NewRate),
+			Weight:       JSONFloat(gp.Weight),
+			OldRate:      JSONFloat(gp.OldRate),
+			NewRate:      JSONFloat(gp.NewRate),
+			FlipPosToNeg: JSONFloat(gp.FlipPosToNeg),
+			FlipNegToPos: JSONFloat(gp.FlipNegToPos),
+			LevelingDown: JSONFloat(math.Max(0, gp.OldRate-gp.NewRate)),
 		})
 	}
 	if cfg.ladder {
-		plan.Ladder, err = r.ladder(cpt, repaired)
+		plan.Ladder, err = r.ladder(ctx, cpt, repaired)
 		if err != nil {
 			return nil, fmt.Errorf("fairness: repair ladder: %w", err)
 		}
@@ -428,7 +441,7 @@ func (r *Repairer) planCPT(cpt *core.CPT, observations float64) (*RepairPlan, er
 // regardless of GOMAXPROCS or worker count. A subset whose marginal
 // collapses to a single populated group has nothing to compare and
 // reports ε = 0 (a one-population margin is trivially fair).
-func (r *Repairer) ladder(beforeCPT, afterCPT *core.CPT) ([]RepairLadderRow, error) {
+func (r *Repairer) ladder(ctx context.Context, beforeCPT, afterCPT *core.CPT) ([]RepairLadderRow, error) {
 	names := r.space.SubsetNames()
 	rows := make([]RepairLadderRow, len(names))
 	epsOf := func(c *core.CPT, subset []string) (JSONFloat, error) {
@@ -445,7 +458,7 @@ func (r *Repairer) ladder(beforeCPT, afterCPT *core.CPT) ([]RepairLadderRow, err
 		}
 		return JSONFloat(res.Epsilon), nil
 	}
-	err := par.DoErr(r.cfg.workers, len(names), func() struct{} { return struct{}{} },
+	err := par.DoCtx(ctx, r.cfg.workers, len(names), func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) error {
 			before, err := epsOf(beforeCPT, names[i])
 			if err != nil {

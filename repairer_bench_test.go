@@ -1,6 +1,7 @@
 package fairness_test
 
 import (
+	"context"
 	"testing"
 
 	fairness "repro"
@@ -21,7 +22,7 @@ func BenchmarkRepairPlan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rep.Plan(counts); err != nil {
+		if _, err := rep.Plan(context.Background(), counts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,7 +39,7 @@ func BenchmarkApplyBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	plan, err := rep.Plan(counts)
+	plan, err := rep.Plan(context.Background(), counts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package fairness_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -28,7 +29,7 @@ func admissionsRepairer(t *testing.T, opts ...fairness.RepairOption) (*fairness.
 
 func TestRepairerAdmissionsPlan(t *testing.T) {
 	rep, counts := admissionsRepairer(t)
-	plan, err := rep.Plan(counts)
+	plan, err := rep.Plan(context.Background(), counts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +42,10 @@ func TestRepairerAdmissionsPlan(t *testing.T) {
 	if float64(plan.AchievedEpsilon) > 0.5+1e-9 {
 		t.Errorf("achieved %v exceeds target", plan.AchievedEpsilon)
 	}
-	if plan.Observations != counts.Total() {
+	if float64(plan.Observations) != counts.Total() {
 		t.Errorf("observations %v, want %v", plan.Observations, counts.Total())
 	}
-	if plan.ExpectedChanged <= 0 || math.Abs(plan.ExpectedChanged-plan.Movement*plan.Observations) > 1e-9 {
+	if plan.ExpectedChanged <= 0 || math.Abs(float64(plan.ExpectedChanged-plan.Movement*plan.Observations)) > 1e-9 {
 		t.Errorf("expected_changed %v inconsistent with movement %v", plan.ExpectedChanged, plan.Movement)
 	}
 	if plan.PositiveOutcome != "admit" {
@@ -99,7 +100,7 @@ func TestRepairerPropertyRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		plan, err := rep.Plan(counts)
+		plan, err := rep.Plan(context.Background(), counts)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -112,13 +113,13 @@ func TestRepairerPropertyRandom(t *testing.T) {
 			if guard && gp.NewRate < gp.OldRate-1e-12 {
 				t.Fatalf("trial %d: guard violated for %s: %v -> %v", trial, gp.Group, gp.OldRate, gp.NewRate)
 			}
-			if gp.LevelingDown != math.Max(0, gp.OldRate-gp.NewRate) {
+			if float64(gp.LevelingDown) != math.Max(0, float64(gp.OldRate-gp.NewRate)) {
 				t.Fatalf("trial %d: group leveling_down inconsistent: %+v", trial, gp)
 			}
-			leveled += gp.Weight * gp.LevelingDown
-			totalW += gp.Weight
+			leveled += float64(gp.Weight * gp.LevelingDown)
+			totalW += float64(gp.Weight)
 		}
-		if math.Abs(plan.LevelingDown-leveled/totalW) > 1e-9 {
+		if math.Abs(float64(plan.LevelingDown)-leveled/totalW) > 1e-9 {
 			t.Fatalf("trial %d: plan leveling_down %v, groups say %v", trial, plan.LevelingDown, leveled/totalW)
 		}
 	}
@@ -133,7 +134,7 @@ func TestRepairerPlanDeterministic(t *testing.T) {
 		prev := runtime.GOMAXPROCS(procs)
 		for _, workers := range []int{0, 1, 3, 16} {
 			rep, counts := admissionsRepairer(t, fairness.WithWorkers(workers), fairness.WithSeed(7))
-			plan, err := rep.Plan(counts)
+			plan, err := rep.Plan(context.Background(), counts)
 			if err != nil {
 				runtime.GOMAXPROCS(prev)
 				t.Fatal(err)
@@ -159,7 +160,7 @@ func TestRepairerPlanDeterministic(t *testing.T) {
 // that makes the same decisions as the original's.
 func TestRepairPlanJSONRoundTrip(t *testing.T) {
 	rep, counts := admissionsRepairer(t, fairness.WithSeed(11))
-	plan, err := rep.Plan(counts)
+	plan, err := rep.Plan(context.Background(), counts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestRepairPlanJSONRoundTrip(t *testing.T) {
 // explicit tickets produce the same stream as one sequential pass.
 func TestApplierConcurrentDeterminism(t *testing.T) {
 	rep, counts := admissionsRepairer(t)
-	plan, err := rep.Plan(counts)
+	plan, err := rep.Plan(context.Background(), counts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestRepairerMaxMovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rep.Plan(counts); !errors.Is(err, fairness.ErrMaxMovementExceeded) {
+	if _, err := rep.Plan(context.Background(), counts); !errors.Is(err, fairness.ErrMaxMovementExceeded) {
 		t.Fatalf("got %v, want ErrMaxMovementExceeded", err)
 	}
 	// A loose cap admits the same plan.
@@ -308,7 +309,7 @@ func TestRepairerMaxMovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rep.Plan(counts); err != nil {
+	if _, err := rep.Plan(context.Background(), counts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -320,21 +321,21 @@ func TestRepairerDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rep.Plan(empty); !errors.Is(err, fairness.ErrDegenerateSupport) {
+	if _, err := rep.Plan(context.Background(), empty); !errors.Is(err, fairness.ErrDegenerateSupport) {
 		t.Fatalf("empty counts: got %v, want ErrDegenerateSupport", err)
 	}
 	single := fairness.MustCounts(space, datasets.AdmissionsOutcomes)
 	single.MustAdd(2, 1, 50)
 	single.MustAdd(2, 0, 50)
-	if _, err := rep.Plan(single); !errors.Is(err, fairness.ErrDegenerateSupport) {
+	if _, err := rep.Plan(context.Background(), single); !errors.Is(err, fairness.ErrDegenerateSupport) {
 		t.Fatalf("single-group counts: got %v, want ErrDegenerateSupport", err)
 	}
-	if _, err := rep.Plan(nil); err == nil {
+	if _, err := rep.Plan(context.Background(), nil); err == nil {
 		t.Error("nil counts accepted")
 	}
 	other := fairness.MustCounts(fairness.MustSpace(fairness.Attr{Name: "z", Values: []string{"0", "1"}}),
 		datasets.AdmissionsOutcomes)
-	if _, err := rep.Plan(other); err == nil {
+	if _, err := rep.Plan(context.Background(), other); err == nil {
 		t.Error("mismatched space accepted")
 	}
 }
@@ -364,14 +365,14 @@ func TestRepairerPlanMonitor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := rep.PlanMonitor(mon)
+	plan, err := rep.PlanMonitor(context.Background(), mon)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if float64(plan.AchievedEpsilon) > 0.5+1e-9 {
 		t.Fatalf("achieved eps %v", plan.AchievedEpsilon)
 	}
-	if plan.Observations != counts.Total() {
+	if float64(plan.Observations) != counts.Total() {
 		t.Fatalf("plan observed %v of %v decisions", plan.Observations, counts.Total())
 	}
 }

@@ -95,19 +95,19 @@ type LadderRow struct {
 // full-intersection ε.
 type BootstrapReport struct {
 	Replicates int       `json:"replicates"`
-	Level      float64   `json:"level"`
+	Level      JSONFloat `json:"level"`
 	Lo         JSONFloat `json:"lo"`
 	Hi         JSONFloat `json:"hi"`
 	// InfiniteShare is the fraction of replicates with infinite ε — a
 	// sparsity diagnostic suggesting Eq. 7 smoothing.
-	InfiniteShare float64 `json:"infinite_share"`
+	InfiniteShare JSONFloat `json:"infinite_share"`
 }
 
 // CredibleReport summarizes the Dirichlet-multinomial posterior of ε.
 type CredibleReport struct {
 	Samples    int       `json:"samples"`
-	PriorAlpha float64   `json:"prior_alpha"`
-	Level      float64   `json:"level"`
+	PriorAlpha JSONFloat `json:"prior_alpha"`
+	Level      JSONFloat `json:"level"`
 	Mean       JSONFloat `json:"mean"`
 	Median     JSONFloat `json:"median"`
 	Lo         JSONFloat `json:"lo"`
@@ -119,32 +119,32 @@ type CredibleReport struct {
 
 // ReversalReport describes one detected Simpson's-paradox reversal.
 type ReversalReport struct {
-	Attr          string    `json:"attr"`
-	Conditioned   string    `json:"conditioned"`
-	ValueHi       string    `json:"value_hi"`
-	ValueLo       string    `json:"value_lo"`
-	Outcome       string    `json:"outcome"`
-	AggregateDiff float64   `json:"aggregate_diff"`
-	StratumDiffs  []float64 `json:"stratum_diffs"`
+	Attr          string      `json:"attr"`
+	Conditioned   string      `json:"conditioned"`
+	ValueHi       string      `json:"value_hi"`
+	ValueLo       string      `json:"value_lo"`
+	Outcome       string      `json:"outcome"`
+	AggregateDiff JSONFloat   `json:"aggregate_diff"`
+	StratumDiffs  []JSONFloat `json:"stratum_diffs"`
 }
 
 // RepairGroupReport is the repair prescription for one group.
 type RepairGroupReport struct {
-	Group        string  `json:"group"`
-	OldRate      float64 `json:"old_rate"`
-	NewRate      float64 `json:"new_rate"`
-	FlipPosToNeg float64 `json:"flip_pos_to_neg"`
-	FlipNegToPos float64 `json:"flip_neg_to_pos"`
+	Group        string    `json:"group"`
+	OldRate      JSONFloat `json:"old_rate"`
+	NewRate      JSONFloat `json:"new_rate"`
+	FlipPosToNeg JSONFloat `json:"flip_pos_to_neg"`
+	FlipNegToPos JSONFloat `json:"flip_neg_to_pos"`
 }
 
 // RepairReport is the minimal-movement repair plan to a target ε.
 type RepairReport struct {
-	TargetEpsilon float64 `json:"target_epsilon"`
+	TargetEpsilon JSONFloat `json:"target_epsilon"`
 	// Lo and Hi bound the repaired positive rates.
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
+	Lo JSONFloat `json:"lo"`
+	Hi JSONFloat `json:"hi"`
 	// Movement is the expected fraction of decisions changed.
-	Movement float64             `json:"movement"`
+	Movement JSONFloat           `json:"movement"`
 	Groups   []RepairGroupReport `json:"groups"`
 }
 
@@ -179,9 +179,9 @@ type Report struct {
 	SchemaVersion int `json:"schema_version"`
 	// Estimator names the estimator in prose ("empirical (Eq. 6)" or the
 	// Dirichlet-smoothed variant); Alpha is its pseudo-count.
-	Estimator    string  `json:"estimator"`
-	Alpha        float64 `json:"alpha"`
-	Observations float64 `json:"observations"`
+	Estimator    string    `json:"estimator"`
+	Alpha        JSONFloat `json:"alpha"`
+	Observations JSONFloat `json:"observations"`
 	// Epsilon is the full-intersection differential fairness.
 	Epsilon        JSONFloat            `json:"epsilon"`
 	Finite         bool                 `json:"finite"`
