@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The crash-injection harness: the test binary re-execs itself as a
+// real dfserve process (TestMain dispatches to main() when the marker
+// env var is set), the parent SIGKILLs it at the worst possible moment,
+// and a restarted process must serve every observation the dead one
+// acknowledged. This is the end-to-end proof behind the WAL's central
+// contract — fsync=batch never loses an acked write — with real
+// processes and real file descriptors, not an in-process simulation.
+
+const crashChildEnv = "DFSERVE_CRASH_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// startChild boots a dfserve process over dir and returns its base URL
+// and a kill function (SIGKILL + reap). The resolved listen address is
+// scraped from the child's log line.
+func startChild(t *testing.T, dir string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dir,
+		"-fsync", "batch",
+	}, extraArgs...)
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	kill := func() {
+		_ = cmd.Process.Kill() // SIGKILL: no handlers, no drain, no flush
+		_ = cmd.Wait()
+	}
+	select {
+	case addr := <-addrCh:
+		base := "http://" + addr
+		// The listener is up before Serve returns; still, wait for a
+		// healthz round trip so recovery has finished too.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return base, kill
+			}
+			if time.Now().After(deadline) {
+				kill()
+				t.Fatalf("child at %s never became healthy: %v", base, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	case <-time.After(30 * time.Second):
+		kill()
+		t.Fatal("child never logged its listen address")
+		return "", nil
+	}
+}
+
+func childReq(t *testing.T, base, method, path, body string) (int, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, buf.Bytes(), nil
+}
+
+func mustChildReq(t *testing.T, base, method, path, body string, want int) []byte {
+	t.Helper()
+	code, out, err := childReq(t, base, method, path, body)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	if code != want {
+		t.Fatalf("%s %s: got %d, want %d: %s", method, path, code, want, out)
+	}
+	return out
+}
+
+// TestCrashRecoveryByteIdentical quiesces a server after a sequential
+// transcript (monitors, observes, an installed plan, decides), SIGKILLs
+// it, and requires the rebooted process to serve byte-identical reports
+// on both the raw and served streams.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dir := t.TempDir()
+	base, kill := startChild(t, dir)
+
+	mustChildReq(t, base, http.MethodPut, "/v1/monitors/m",
+		`{"space": [{"name": "g", "values": ["a", "b"]}],
+		  "outcomes": ["deny", "approve"], "half_life": 100, "alpha": 0.5,
+		  "threshold": 0.8, "min_effective": 4}`, http.StatusCreated)
+	for i := 0; i < 10; i++ {
+		mustChildReq(t, base, http.MethodPost, "/v1/monitors/m/observe",
+			`{"groups": [0,0,0,0,1,1,1,1], "outcomes": [1,1,1,0,0,0,0,1]}`, http.StatusOK)
+	}
+	mustChildReq(t, base, http.MethodPost, "/v1/monitors/m/repair",
+		`{"target_epsilon": 0.4, "seed": 9}`, http.StatusOK)
+	for i := 0; i < 4; i++ {
+		mustChildReq(t, base, http.MethodPost, "/v1/monitors/m/decide",
+			`{"groups": [0,1,0,1], "decisions": [1,0,1,1]}`, http.StatusOK)
+	}
+	paths := []string{
+		"/v1/monitors/m",
+		"/v1/monitors/m/report?seed=1",
+		"/v1/monitors/m/report?stream=served&seed=1",
+	}
+	golden := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		golden[p] = mustChildReq(t, base, http.MethodGet, p, "", http.StatusOK)
+	}
+	kill()
+
+	base2, kill2 := startChild(t, dir)
+	defer kill2()
+	for _, p := range paths {
+		got := mustChildReq(t, base2, http.MethodGet, p, "", http.StatusOK)
+		if !bytes.Equal(got, golden[p]) {
+			t.Errorf("%s diverged across crash:\n got: %s\nwant: %s", p, got, golden[p])
+		}
+	}
+}
+
+// TestCrashMidIngestLosesNoAcked hammers a monitor from concurrent
+// writers, SIGKILLs the server mid-flight, and requires the rebooted
+// process to hold at least every observation a writer received a 200
+// for — the fsync=batch durability contract. A second kill-and-reboot
+// checks recovery is idempotent.
+func TestCrashMidIngestLosesNoAcked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dir := t.TempDir()
+	base, kill := startChild(t, dir)
+
+	// A huge tumbling window: nothing ever evicts, so "seen" counts
+	// every observation since boot and acked ≤ seen is exact.
+	mustChildReq(t, base, http.MethodPut, "/v1/monitors/m",
+		`{"space": [{"name": "g", "values": ["a", "b"]}],
+		  "outcomes": ["deny", "approve"], "window": {"size": 100000000}, "alpha": 0}`,
+		http.StatusCreated)
+
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	const writers = 8
+	body := `{"groups": [0,1,0,1,0,1,0,1], "outcomes": [1,0,0,1,1,1,0,0]}`
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _, err := childReq(t, base, http.MethodPost, "/v1/monitors/m/observe", body)
+				if err != nil {
+					return // the kill landed
+				}
+				if code == http.StatusOK {
+					acked.Add(8)
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // let the hammer run
+	kill()                             // SIGKILL mid-ingest
+	close(stop)
+	wg.Wait()
+
+	base2, kill2 := startChild(t, dir)
+	stats := mustChildReq(t, base2, http.MethodGet, "/v1/monitors/m", "", http.StatusOK)
+	var view struct {
+		Seen           int     `json:"seen"`
+		EffectiveCount float64 `json:"effective_count"`
+	}
+	if err := json.Unmarshal(stats, &view); err != nil {
+		t.Fatalf("stats: %v: %s", err, stats)
+	}
+	if got, want := int64(view.Seen), acked.Load(); got < want {
+		t.Fatalf("crash lost acknowledged observations: recovered seen=%d < acked=%d", got, want)
+	}
+	if view.EffectiveCount != float64(view.Seen) {
+		t.Fatalf("window should hold everything: effective=%v seen=%d", view.EffectiveCount, view.Seen)
+	}
+	report := mustChildReq(t, base2, http.MethodGet, "/v1/monitors/m/report?seed=1", "", http.StatusOK)
+	kill2() // again, no clean shutdown
+
+	base3, kill3 := startChild(t, dir)
+	defer kill3()
+	report2 := mustChildReq(t, base3, http.MethodGet, "/v1/monitors/m/report?seed=1", "", http.StatusOK)
+	if !bytes.Equal(report, report2) {
+		t.Errorf("second recovery diverged from first:\n got: %s\nwant: %s", report2, report)
+	}
+	if fmt.Sprintf("%d", view.Seen) == "0" {
+		t.Error("hammer never landed a batch; test proves nothing")
+	}
+}

@@ -52,14 +52,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	fairness "repro"
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -72,39 +75,65 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "per-response write deadline")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	dataDir := flag.String("data-dir", "", "durability directory for the monitor registry (WAL + snapshots); empty disables persistence")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always (fsync per request), batch (group commit), or os (no fsync)")
+	snapshotInterval := flag.Int("snapshot-interval", defaultSnapshotInterval, "WAL records between registry snapshots")
 	flag.Parse()
 
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfserve:", err)
+		os.Exit(2)
+	}
+	if *snapshotInterval <= 0 {
+		fmt.Fprintln(os.Stderr, "dfserve: -snapshot-interval must be positive")
+		os.Exit(2)
+	}
+
+	sv := newServer(serverConfig{
+		workers:          *workers,
+		maxBody:          *maxBody,
+		maxResamples:     *maxResamples,
+		maxMonitors:      *maxMonitors,
+		maxMonitorCells:  *maxMonitorCells,
+		dataDir:          *dataDir,
+		fsync:            policy,
+		snapshotInterval: *snapshotInterval,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: newMux(serverConfig{
-			workers:         *workers,
-			maxBody:         *maxBody,
-			maxResamples:    *maxResamples,
-			maxMonitors:     *maxMonitors,
-			maxMonitorCells: *maxMonitorCells,
-		}),
+		Handler:           sv,
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting
-	// connections and drains in-flight requests for up to -drain; a
-	// second signal (stop() restores default handling) kills immediately.
+	// connections, fails new requests with 503 + Retry-After, and drains
+	// in-flight requests for up to -drain; a second signal (stop()
+	// restores default handling) kills immediately.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
 		stop()
+		sv.draining.Store(true)
 		log.Printf("dfserve: signal received, draining for up to %v", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		drained <- srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("dfserve: listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Listen before logging so the printed address is the resolved one
+	// (":0" becomes the actual port) — the crash-recovery harness scrapes
+	// it to find the child.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("dfserve: listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dfserve:", err)
 		os.Exit(1)
 	}
@@ -112,6 +141,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dfserve: drain:", err)
 		os.Exit(1)
 	}
+	// In-flight requests are done; flush a final snapshot and close the
+	// WAL so the next boot replays nothing.
+	sv.reg.closeStore()
 	log.Printf("dfserve: drained, bye")
 }
 
@@ -126,11 +158,56 @@ type serverConfig struct {
 	// monitors are long-lived server state, unlike audit requests.
 	maxMonitors     int
 	maxMonitorCells int
+	// dataDir, when set, arms the durability layer (persist.go): the
+	// registry recovers from snapshot + WAL on boot and every mutation
+	// is made durable under the fsync policy before acknowledgment.
+	dataDir          string
+	fsync            wal.SyncPolicy
+	snapshotInterval int
 }
 
-// newMux builds the service's routes; split from main for httptest use.
-// Each mux owns a fresh monitor registry.
-func newMux(cfg serverConfig) *http.ServeMux {
+// server is the full service: the routed mux plus the drain gate and
+// the registry handle main needs for shutdown.
+type server struct {
+	mux      *http.ServeMux
+	reg      *registry
+	draining atomic.Bool
+}
+
+// ServeHTTP fronts the mux with the drain gate: once shutdown begins,
+// new requests get an honest 503 with Retry-After instead of racing the
+// closing listener. healthz stays reachable so orchestrators can watch
+// the drain.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() && r.URL.Path != "/healthz" {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz reports the server's availability state: "ok",
+// "draining" during shutdown, or "degraded" (with the reason) when the
+// durability layer has failed and the server is read-only.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]string{"status": "ok"}
+	if reason := s.reg.store.degraded(); reason != "" {
+		resp["status"] = "degraded"
+		resp["reason"] = reason
+	}
+	if s.draining.Load() {
+		resp["status"] = "draining"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// newServer builds the service. Boot never fails: if the data dir is
+// unusable the registry recovers what it can and comes up degraded
+// (read-only), reported via healthz — a broken disk demotes the node
+// rather than crash-looping it.
+func newServer(cfg serverConfig) *server {
+	s := &server{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
 		handleAudit(w, r, cfg)
@@ -139,6 +216,10 @@ func newMux(cfg serverConfig) *http.ServeMux {
 		handleRepair(w, r, cfg)
 	})
 	reg := newRegistry(cfg)
+	if cfg.dataDir != "" {
+		reg.openStore(cfg.dataDir, cfg.fsync, cfg.snapshotInterval)
+	}
+	s.reg = reg
 	mux.HandleFunc("PUT /v1/monitors/{id}", reg.handlePut)
 	mux.HandleFunc("GET /v1/monitors", reg.handleList)
 	mux.HandleFunc("GET /v1/monitors/{id}", reg.handleGet)
@@ -147,11 +228,15 @@ func newMux(cfg serverConfig) *http.ServeMux {
 	mux.HandleFunc("GET /v1/monitors/{id}/report", reg.handleReport)
 	mux.HandleFunc("POST /v1/monitors/{id}/repair", reg.handleMonitorRepair)
 	mux.HandleFunc("POST /v1/monitors/{id}/decide", reg.handleDecide)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// newMux builds the service's routes without persistence; split from
+// main for httptest use. Each mux owns a fresh monitor registry.
+func newMux(cfg serverConfig) *http.ServeMux {
+	return newServer(cfg).mux
 }
 
 // auditRequest is the POST /v1/audit body: the protected space, the

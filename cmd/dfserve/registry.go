@@ -25,6 +25,16 @@ type registry struct {
 
 	mu       sync.RWMutex
 	monitors map[string]*monitorEntry
+
+	// store is the durability layer (persist.go); nil when the server
+	// runs without -data-dir and the registry is purely in-memory.
+	// persistMu orders WAL appends relative to their in-memory
+	// application: mutations hold it shared around append+apply, while
+	// snapshot capture (and entry-swapping PUT/DELETE) hold it
+	// exclusively, so a captured (walSeq, state) pair is consistent.
+	// Lock order: persistMu before mu.
+	store     *durability
+	persistMu sync.RWMutex
 }
 
 func newRegistry(cfg serverConfig) *registry {
@@ -167,10 +177,16 @@ func validMonitorID(id string) error {
 }
 
 // handlePut creates or replaces a monitor. Replacing resets its state.
+// The put record is committed to the WAL before the entry is installed
+// — but only after the same limit check replay will never re-run, so a
+// record in the log always applies cleanly.
 func (r *registry) handlePut(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	if err := validMonitorID(id); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !r.guardMutation(w) {
 		return
 	}
 	var spec monitorSpec
@@ -187,22 +203,38 @@ func (r *registry) handlePut(w http.ResponseWriter, req *http.Request) {
 	}
 	entry := &monitorEntry{id: id, cfg: spec, mon: mon, watch: watch}
 
+	r.persistMu.Lock()
 	r.mu.Lock()
 	_, replaced := r.monitors[id]
 	if !replaced && r.cfg.maxMonitors > 0 && len(r.monitors) >= r.cfg.maxMonitors {
 		r.mu.Unlock()
+		r.persistMu.Unlock()
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("monitor count limit %d reached", r.cfg.maxMonitors))
 		return
 	}
+	if r.store != nil {
+		rec, err := encodeJSONRecord(recMonitorPut, putRecord{ID: id, Spec: spec})
+		if err == nil {
+			err = r.store.commit(rec)
+		}
+		if err != nil {
+			r.mu.Unlock()
+			r.persistMu.Unlock()
+			writeDegraded(w, r.store.degraded())
+			return
+		}
+	}
 	r.monitors[id] = entry
 	r.mu.Unlock()
+	r.persistMu.Unlock()
 
 	status := http.StatusCreated
 	if replaced {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, entry.stats())
+	r.maybeSnapshot()
 }
 
 // lookup fetches an entry under the read lock.
@@ -224,15 +256,35 @@ func (r *registry) handleGet(w http.ResponseWriter, req *http.Request) {
 
 func (r *registry) handleDelete(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	if !r.guardMutation(w) {
+		return
+	}
+	r.persistMu.Lock()
 	r.mu.Lock()
 	_, ok := r.monitors[id]
-	delete(r.monitors, id)
-	r.mu.Unlock()
 	if !ok {
+		r.mu.Unlock()
+		r.persistMu.Unlock()
 		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
+	if r.store != nil {
+		rec, err := encodeJSONRecord(recMonitorDelete, deleteRecord{ID: id})
+		if err == nil {
+			err = r.store.commit(rec)
+		}
+		if err != nil {
+			r.mu.Unlock()
+			r.persistMu.Unlock()
+			writeDegraded(w, r.store.degraded())
+			return
+		}
+	}
+	delete(r.monitors, id)
+	r.mu.Unlock()
+	r.persistMu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
+	r.maybeSnapshot()
 }
 
 func (r *registry) handleList(w http.ResponseWriter, req *http.Request) {
@@ -322,9 +374,12 @@ type alertReport struct {
 }
 
 // handleObserve ingests one batch of decisions — the hot path. The batch
-// is decoded and validated, then lands in the monitor's sharded table
-// with a single ticket-range claim; when the monitor has a threshold,
-// one ε check runs per batch (not per observation).
+// is decoded and fully validated before anything else: a record must
+// never reach the WAL unless replaying it will succeed, so the bounds
+// check that ObserveBatch would do runs up front, then the durable
+// append happens (under the shared persist lock) before the in-memory
+// apply and the acknowledgment. When the monitor has a threshold, one ε
+// check runs per batch (not per observation).
 func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 	e, ok := r.lookup(req.PathValue("id"))
 	if !ok {
@@ -343,21 +398,51 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := e.validateBatch(groups, outcomes); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	// The unwatched path is pure sharded ingest: no snapshot merge, no
 	// reporting lock. A watched monitor pays exactly one merge per batch
 	// (the threshold check), whose effective mass the response reuses.
 	var alert *fairness.Alert
 	var effective *float64
-	if e.watch != nil {
-		var eff float64
-		alert, eff, err = e.watch.ObserveBatchChecked(groups, outcomes)
-		effective = &eff
+	ingest := func() error {
+		if e.watch != nil {
+			var eff float64
+			var err error
+			alert, eff, err = e.watch.ObserveBatchChecked(groups, outcomes)
+			effective = &eff
+			return err
+		}
+		return e.mon.ObserveBatch(groups, outcomes)
+	}
+	if r.store != nil {
+		if !r.guardMutation(w) {
+			return
+		}
+		r.persistMu.RLock()
+		if cur, still := r.lookup(e.id); !still || cur != e {
+			r.persistMu.RUnlock()
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("monitor %q was concurrently replaced; retry", e.id))
+			return
+		}
+		if err := r.store.commit(encodeObserveRecord(e.id, groups, outcomes)); err != nil {
+			r.persistMu.RUnlock()
+			writeDegraded(w, r.store.degraded())
+			return
+		}
+		err = ingest()
+		r.persistMu.RUnlock()
 	} else {
-		err = e.mon.ObserveBatch(groups, outcomes)
+		err = ingest()
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// The batch was bounds-checked above, so this is a server-side
+		// inconsistency, not client input.
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	resp := observeResponse{
@@ -367,6 +452,25 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 	}
 	resp.Alert = e.alertReport(alert)
 	writeJSON(w, http.StatusOK, resp)
+	r.maybeSnapshot()
+}
+
+// validateBatch bounds-checks an encoded batch against the monitor's
+// shape. It mirrors the validation ObserveBatch performs, but runs
+// before the batch is committed to the WAL — a durable record must
+// always replay cleanly.
+func (e *monitorEntry) validateBatch(groups, outcomes []int) error {
+	size := e.mon.Space().Size()
+	nOut := len(e.cfg.Outcomes)
+	for i := range groups {
+		if groups[i] < 0 || groups[i] >= size {
+			return fmt.Errorf("groups[%d] = %d outside space of %d groups", i, groups[i], size)
+		}
+		if outcomes[i] < 0 || outcomes[i] >= nOut {
+			return fmt.Errorf("outcomes[%d] = %d outside %d outcomes", i, outcomes[i], nOut)
+		}
+	}
+	return nil
 }
 
 // alertReport renders a threshold crossing with human-readable labels;

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync/atomic"
 
 	fairness "repro"
 )
@@ -127,6 +128,12 @@ type livePlan struct {
 	spec        repairOptionsSpec
 	plan        *fairness.RepairPlan
 	app         *fairness.Applier
+	// tickets is the plan's decide ticket clock, held here (not inside
+	// the applier) so decide batches claim their ticket base explicitly
+	// and each batch's base can be written to the WAL: a restored plan
+	// resumes the clock where the log left it, keeping the applier's
+	// deterministic randomized rounding aligned across a crash.
+	tickets atomic.Uint64
 }
 
 // monitorRepairRequest is the POST /v1/monitors/{id}/repair body: repair
@@ -178,6 +185,9 @@ func (r *registry) handleMonitorRepair(w http.ResponseWriter, req *http.Request)
 		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
 		return
 	}
+	if !r.guardMutation(w) {
+		return
+	}
 	var body monitorRepairRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
 	dec.DisallowUnknownFields()
@@ -225,7 +235,11 @@ func (r *registry) handleMonitorRepair(w http.ResponseWriter, req *http.Request)
 		plan:        plan,
 		app:         app,
 	}
-	e.live.Store(lp)
+	if status, err := r.persistPlan(e, lp); err != nil {
+		e.refreshMu.Unlock()
+		writeError(w, status, err)
+		return
+	}
 	e.refreshMu.Unlock()
 
 	resp := monitorRepairResponse{
@@ -243,6 +257,46 @@ func (r *registry) handleMonitorRepair(w http.ResponseWriter, req *http.Request)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	r.maybeSnapshot()
+}
+
+// persistPlan commits a plan-install record (when durable) and installs
+// the plan as the entry's live plan. The WAL append happens before
+// e.live.Store: any decide batch that sees this plan must append after
+// it in the log, so replay always installs the plan before applying the
+// decides that used it. The caller must hold e.refreshMu. The int
+// return is the HTTP status for a non-nil error.
+func (r *registry) persistPlan(e *monitorEntry, lp *livePlan) (int, error) {
+	if r.store == nil {
+		e.live.Store(lp)
+		return 0, nil
+	}
+	planJSON, err := json.Marshal(lp.plan)
+	if err != nil {
+		return http.StatusInternalServerError, fmt.Errorf("encoding plan: %w", err)
+	}
+	rec, err := encodeJSONRecord(recPlanInstall, planRecord{
+		ID:          e.id,
+		Version:     lp.version,
+		AutoRefresh: lp.autoRefresh,
+		Spec:        lp.spec,
+		Plan:        planJSON,
+		Tickets:     lp.tickets.Load(),
+	})
+	if err != nil {
+		return http.StatusInternalServerError, fmt.Errorf("encoding plan record: %w", err)
+	}
+	r.persistMu.RLock()
+	defer r.persistMu.RUnlock()
+	if cur, still := r.lookup(e.id); !still || cur != e {
+		return http.StatusConflict, fmt.Errorf("monitor %q was concurrently replaced; retry", e.id)
+	}
+	if err := r.store.commit(rec); err != nil {
+		return http.StatusServiceUnavailable,
+			fmt.Errorf("server is in degraded read-only mode: %s", r.store.degraded())
+	}
+	e.live.Store(lp)
+	return 0, nil
 }
 
 // decideRequest is the POST /v1/monitors/{id}/decide body: the proposed
@@ -288,6 +342,9 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
 		return
 	}
+	if !r.guardMutation(w) {
+		return
+	}
 	lp := e.live.Load()
 	if lp == nil {
 		writeError(w, http.StatusConflict,
@@ -308,12 +365,17 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty decide batch"))
 		return
 	}
-	// Apply validates the whole batch (group coverage, binary decisions)
-	// before mutating anything; it repairs a copy so the raw proposals
-	// remain for the monitor.
+	// ApplyAt validates the whole batch (group coverage, binary
+	// decisions) before mutating anything; it repairs a copy so the raw
+	// proposals remain for the monitor. The ticket base is claimed from
+	// the plan's own clock (not the applier's) so it can be written to
+	// the WAL: the record carries everything replay needs — ticket base,
+	// raw and repaired decisions — without re-running the applier.
 	repaired := make([]int, len(body.Decisions))
 	copy(repaired, body.Decisions)
-	changed, err := lp.app.Apply(body.Groups, repaired)
+	n := uint64(len(body.Groups))
+	ticket := lp.tickets.Add(n) - n
+	changed, err := lp.app.ApplyAt(ticket, body.Groups, repaired)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -323,18 +385,41 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 	// decisions into the shadow stream.
 	var alert *fairness.Alert
 	var effective *float64
-	if e.watch != nil {
-		var eff float64
-		alert, eff, err = e.watch.ObserveBatchChecked(body.Groups, body.Decisions)
-		effective = &eff
-	} else {
-		err = e.mon.ObserveBatch(body.Groups, body.Decisions)
+	ingest := func() error {
+		var err error
+		if e.watch != nil {
+			var eff float64
+			alert, eff, err = e.watch.ObserveBatchChecked(body.Groups, body.Decisions)
+			effective = &eff
+		} else {
+			err = e.mon.ObserveBatch(body.Groups, body.Decisions)
+		}
+		if err == nil {
+			err = served.ObserveBatch(body.Groups, repaired)
+		}
+		return err
 	}
-	if err == nil {
-		err = served.ObserveBatch(body.Groups, repaired)
+	if r.store != nil {
+		r.persistMu.RLock()
+		if cur, still := r.lookup(e.id); !still || cur != e {
+			r.persistMu.RUnlock()
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("monitor %q was concurrently replaced; retry", e.id))
+			return
+		}
+		rec := encodeDecideRecord(e.id, ticket, body.Groups, body.Decisions, repaired)
+		if err := r.store.commit(rec); err != nil {
+			r.persistMu.RUnlock()
+			writeDegraded(w, r.store.degraded())
+			return
+		}
+		err = ingest()
+		r.persistMu.RUnlock()
+	} else {
+		err = ingest()
 	}
 	if err != nil {
-		// Apply already validated indices against the same space, so
+		// ApplyAt already validated indices against the same space, so
 		// this is a server-side inconsistency, not client input.
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -354,6 +439,7 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 		r.refreshPlan(req.Context(), e, lp, &resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
+	r.maybeSnapshot()
 }
 
 // refreshPlan recomputes the plan from the monitor's current window
@@ -387,7 +473,12 @@ func (r *registry) refreshPlan(ctx context.Context, e *monitorEntry, lp *livePla
 		plan:        plan,
 		app:         app,
 	}
-	e.live.Store(nl)
+	if _, err := r.persistPlan(e, nl); err != nil {
+		// Same stance as a failed recompute: keep serving the old plan
+		// and surface the problem instead of failing the batch.
+		resp.RefreshError = err.Error()
+		return
+	}
 	resp.PlanRefreshed = true
 	resp.NewPlanVersion = nl.version
 }

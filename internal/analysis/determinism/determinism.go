@@ -38,6 +38,7 @@ var criticalPackages = map[string]bool{
 	"repro/internal/bayes":    true,
 	"repro/internal/repair":   true,
 	"repro/internal/stream":   true,
+	"repro/internal/wal":      true,
 }
 
 // wallClockFuncs are the package time entry points that read or schedule

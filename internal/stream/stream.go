@@ -90,6 +90,13 @@ type Monitor struct {
 	outcomeIndex map[string]int
 	alpha        float64
 
+	// policy and shards record the construction-time configuration so
+	// state serialization (state.go) can verify a saved state matches
+	// this monitor and rebuild the engine with the shard count the
+	// state was captured under.
+	policy Policy
+	shards int
+
 	// ticket orders observations globally: every admitted observation
 	// draws one ticket, windows and decay are defined in ticket time,
 	// and Seen() is the ticket high-water mark. ObserveBatch draws one
@@ -147,6 +154,8 @@ func New(space *core.Space, outcomes []string, cfg Config) (*Monitor, error) {
 		outcomes:     append([]string(nil), outcomes...),
 		outcomeIndex: idx,
 		alpha:        cfg.Alpha,
+		policy:       cfg.Policy,
+		shards:       shards,
 		eng:          eng,
 		snap:         snap,
 		cpt:          cpt,

@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frame encodes one valid record for seed construction.
+func frame(payload []byte) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the recovery path as the
+// content of the first segment: Replay must never panic and must
+// deliver only CRC-valid records; Open must recover the same prefix,
+// accept a fresh append, and leave a log whose replay is the recovered
+// prefix plus the new record.
+func FuzzWALReplay(f *testing.F) {
+	// Seeds: a clean two-record log, a torn tail, a bit-flipped
+	// payload, a zero-filled page, a declared length far past EOF, and
+	// plain garbage.
+	clean := append(frame([]byte("hello")), frame([]byte("world"))...)
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])
+	flipped := append([]byte(nil), clean...)
+	flipped[headerSize+2] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), clean...), make([]byte, 512)...))
+	f.Add(binary.LittleEndian.AppendUint32(binary.LittleEndian.AppendUint32(nil, 1<<29), 0xdeadbeef))
+	f.Add([]byte("not a wal segment at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(0)), data, 0o644); err != nil {
+			t.Fatalf("writing fuzz segment: %v", err)
+		}
+
+		// Read-only replay: count the valid prefix, verify delivery
+		// order, never panic.
+		var replayed uint64
+		res, err := Replay(dir, 0, func(seq uint64, payload []byte) error {
+			replayed++
+			if seq != replayed {
+				t.Fatalf("out-of-order delivery: seq %d as record %d", seq, replayed)
+			}
+			if len(payload) == 0 {
+				t.Fatal("replay delivered an empty record")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Replay errored on arbitrary bytes: %v", err)
+		}
+		if res.Records != replayed || res.LastSeq != replayed {
+			t.Fatalf("ReplayResult %+v disagrees with %d delivered records", res, replayed)
+		}
+
+		// Writable recovery must agree with the read-only scan and
+		// leave an appendable log.
+		l, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open failed on recoverable bytes: %v", err)
+		}
+		rec := l.Recovery()
+		if rec.Records != replayed {
+			t.Fatalf("Open recovered %d records, Replay saw %d", rec.Records, replayed)
+		}
+		seq, err := l.Append([]byte("appended-after-recovery"))
+		if err != nil {
+			t.Fatalf("Append after recovery: %v", err)
+		}
+		if seq != replayed+1 {
+			t.Fatalf("post-recovery seq = %d, want %d", seq, replayed+1)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		after, err2 := Replay(dir, 0, func(uint64, []byte) error { return nil })
+		if err2 != nil {
+			t.Fatalf("Replay after recovery: %v", err2)
+		}
+		if after.Truncated {
+			t.Fatalf("recovered log still truncated: %s", after.Reason)
+		}
+		if after.Records != replayed+1 {
+			t.Fatalf("recovered log has %d records, want %d", after.Records, replayed+1)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots live next to the segments as snap-<hex16>.snap, where the
+// hex is the sequence number of the last WAL record the snapshot
+// covers: boot loads the newest valid snapshot and replays only the
+// records after it. A snapshot file is one CRC-framed record (the same
+// [len][crc][payload] framing as the log), written to a temp file,
+// fsynced, and renamed into place so a crash mid-write leaves either
+// the old state or the new one, never a half snapshot.
+
+const (
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".snap"
+
+	// snapshotsKept is how many snapshots survive a successful write:
+	// the new one plus one predecessor, so a latent corruption in the
+	// newest file still leaves a fallback.
+	snapshotsKept = 2
+)
+
+// WriteSnapshot atomically persists payload as the snapshot covering
+// WAL records up to and including seq, then removes all but the newest
+// snapshotsKept snapshots. It is safe to call concurrently with
+// appends; callers serialize snapshot writes themselves.
+func WriteSnapshot(dir string, seq uint64, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: empty snapshot")
+	}
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp, err := os.CreateTemp(dir, snapshotPrefix+"tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := tmp.Write(header[:]); err == nil {
+		_, err = tmp.Write(payload)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return pruneSnapshots(dir)
+}
+
+// LatestSnapshot returns the newest valid snapshot: the WAL sequence it
+// covers and its payload. Corrupt or torn snapshot files are skipped in
+// favor of older ones; ok is false when no valid snapshot exists.
+func LatestSnapshot(dir string) (seq uint64, payload []byte, ok bool, err error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, ok := readSnapshot(filepath.Join(dir, snaps[i].name))
+		if ok {
+			return snaps[i].start, payload, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+// readSnapshot loads and verifies one snapshot file; any torn or
+// corrupt content makes it unusable, not an error.
+func readSnapshot(path string) ([]byte, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if len(raw) < headerSize {
+		return nil, false
+	}
+	length := binary.LittleEndian.Uint32(raw[0:4])
+	want := binary.LittleEndian.Uint32(raw[4:8])
+	if length == 0 || length > maxScanRecord || int64(length) != int64(len(raw)-headerSize) {
+		return nil, false
+	}
+	payload := raw[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// pruneSnapshots removes all but the newest snapshotsKept snapshots.
+func pruneSnapshots(dir string) error {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) <= snapshotsKept {
+		return nil
+	}
+	for _, s := range snaps[:len(snaps)-snapshotsKept] {
+		if err := os.Remove(filepath.Join(dir, s.name)); err != nil {
+			return fmt.Errorf("wal: pruning snapshot %s: %w", s.name, err)
+		}
+	}
+	return syncDir(dir)
+}
+
+// listSnapshots returns snapshot files ordered by covered sequence.
+func listSnapshots(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	snaps := make([]segInfo, 0, snapshotsKept)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSnapshotName(e.Name())
+		if !ok {
+			continue
+		}
+		snaps = append(snaps, segInfo{start: seq, name: e.Name()})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].start < snaps[j].start })
+	return snaps, nil
+}
+
+// snapshotName renders the canonical name of the snapshot covering WAL
+// records up to seq.
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapshotPrefix, seq, snapshotSuffix)
+}
+
+// parseSnapshotName extracts the covered sequence from snap-<hex16>.snap.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}

@@ -3,6 +3,7 @@ package fairness
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/stream"
 )
@@ -158,6 +159,19 @@ func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, er
 // under threshold or below the minimum effective mass) and the measured
 // effective mass.
 func (w *Watch) Check() (*Alert, float64, error) { return w.inner.Check() }
+
+// WriteState serializes the monitor's full engine state — tickets,
+// decay bases, bucket epochs, and cells as raw IEEE-754 bits — so a
+// restored monitor reports byte-identically to the original. The caller
+// must ensure no Observe/ObserveBatch calls are in flight during the
+// capture.
+func (m *Monitor) WriteState(w io.Writer) error { return m.inner.WriteState(w) }
+
+// ReadState restores a WriteState capture into a freshly-constructed
+// monitor with the same space shape, policy and alpha. Malformed or
+// mismatched input is rejected without touching the monitor, so
+// arbitrary snapshot bytes can corrupt nothing.
+func (m *Monitor) ReadState(r io.Reader) error { return m.inner.ReadState(r) }
 
 // MonitorShards returns the per-monitor ingest shard count this
 // package's constructors use: a machine-sized default (about twice

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Emits the WAL benchmark results as BENCH_wal.json so the durability
+# tax is tracked across PRs next to the other BENCH_*.json artifacts:
+# append throughput under each fsync policy (os / batch / always) and
+# recovery replay speed, which bounds worst-case boot time.
+#
+# Usage:
+#   scripts/bench_wal.sh [output.json]            # runs the benchmarks
+#   scripts/bench_wal.sh output.json existing.txt # parses a prior run
+#   BENCHTIME=5x scripts/bench_wal.sh             # more iterations
+#
+# The second form lets CI reuse the smoke step's `go test -bench` output
+# instead of running the benchmarks twice. The JSON is a flat array:
+#   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
+#    "allocs_per_op": ...}
+#
+# The interesting spread is BenchmarkWALAppendOS vs BenchmarkWALAppendAlways:
+# the gap is the price of per-record fsync, and BenchmarkWALAppendBatch
+# (group commit) should sit near the OS end of it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_wal.json}"
+input="${2:-}"
+benchtime="${BENCHTIME:-1x}"
+pattern='BenchmarkWAL'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+if [[ -n "$input" ]]; then
+  cp "$input" "$raw"
+else
+  go test -run 'xxx' -bench "$pattern" -benchmem -benchtime "$benchtime" ./internal/wal | tee "$raw"
+fi
+
+awk -v pat="^(${pattern})" '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+  # Strip the -GOMAXPROCS suffix Go appends on multi-core hosts so
+  # names join across runners with different core counts.
+  sub(/-[0-9]+$/, "", name)
+  if (name !~ pat) next
+  for (i = 3; i <= NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  if (!first) printf(",\n")
+  first = 0
+  printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+  printf("}")
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery drill against the real dfserve binary (the
+# in-process and re-exec Go tests cover the same contract; this script
+# proves it for the shipped artifact): boot with a data dir, ingest and
+# install a repair plan, SIGKILL the process mid-life, reboot over the
+# same dir, and require byte-identical reports on both streams. Exits
+# non-zero on any divergence.
+#
+# Usage: scripts/crash_e2e.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+data="$work/data"
+bin="$work/dfserve"
+mkdir -p "$data"
+
+go build -o "$bin" ./cmd/dfserve
+
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill -9 "$serve_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start() {
+  "$bin" -addr 127.0.0.1:0 -data-dir "$data" -fsync batch 2> "$work/serve.log" &
+  serve_pid=$!
+  # Scrape the resolved listen address from the boot log.
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on //p' "$work/serve.log" | head -1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.05
+  done
+  [[ -n "$addr" ]] || { echo "crash_e2e: server never listened"; cat "$work/serve.log"; exit 1; }
+  base="http://$addr"
+  for _ in $(seq 1 100); do
+    curl -sf "$base/healthz" >/dev/null && return
+    sleep 0.05
+  done
+  echo "crash_e2e: server never became healthy"; exit 1
+}
+
+req() { # method path [body]
+  if [[ $# -ge 3 ]]; then
+    curl -sf -X "$1" "$base$2" -d "$3"
+  else
+    curl -sf -X "$1" "$base$2"
+  fi
+}
+
+start
+echo "crash_e2e: seeding $base (pid $serve_pid)"
+req PUT /v1/monitors/m '{
+  "space": [{"name": "g", "values": ["a", "b"]}],
+  "outcomes": ["deny", "approve"],
+  "half_life": 100, "alpha": 0.5, "threshold": 0.8, "min_effective": 4
+}' >/dev/null
+for _ in $(seq 1 10); do
+  req POST /v1/monitors/m/observe \
+    '{"groups": [0,0,0,0,1,1,1,1], "outcomes": [1,1,1,0,0,0,0,1]}' >/dev/null
+done
+req POST /v1/monitors/m/repair '{"target_epsilon": 0.4, "seed": 9}' >/dev/null
+for _ in $(seq 1 4); do
+  req POST /v1/monitors/m/decide '{"groups": [0,1,0,1], "decisions": [1,0,1,1]}' >/dev/null
+done
+
+req GET '/v1/monitors/m' > "$work/stats.before"
+req GET '/v1/monitors/m/report?seed=1' > "$work/raw.before"
+req GET '/v1/monitors/m/report?stream=served&seed=1' > "$work/served.before"
+
+echo "crash_e2e: SIGKILL pid $serve_pid"
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+start
+echo "crash_e2e: rebooted as pid $serve_pid, comparing"
+req GET '/v1/monitors/m' > "$work/stats.after"
+req GET '/v1/monitors/m/report?seed=1' > "$work/raw.after"
+req GET '/v1/monitors/m/report?stream=served&seed=1' > "$work/served.after"
+
+for f in stats raw served; do
+  if ! cmp -s "$work/$f.before" "$work/$f.after"; then
+    echo "crash_e2e: $f report diverged across crash:"
+    diff "$work/$f.before" "$work/$f.after" || true
+    exit 1
+  fi
+done
+
+echo "crash_e2e: ok — recovery is byte-identical"
