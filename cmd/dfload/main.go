@@ -1,0 +1,361 @@
+// Command dfload is the open-loop load harness for dfserve: it
+// synthesizes a census-scale decision stream over a configurable
+// protected-attribute space (internal/loadgen), drives the full HTTP
+// serving path — observe, decide, report — at a target request rate,
+// and reports per-endpoint latency quantiles and throughput as the
+// BENCH_serve.json artifact.
+//
+// The workload is deterministic: every monitor id, group and outcome is
+// drawn from seeded rng substreams (one per connection), so two runs
+// with the same -seed and flags synthesize byte-identical request
+// streams. The scheduler is open-loop — request k fires at start +
+// k/rate regardless of in-flight responses, and latency is measured
+// from the scheduled send time — so a slow server accumulates queueing
+// delay in its own histogram instead of silently throttling the
+// offered load (the coordinated-omission trap). -rate 0 selects
+// closed-loop saturation: each connection fires its next request as
+// soon as the previous returns, measuring max throughput.
+//
+// Usage:
+//
+//	dfload -addr http://127.0.0.1:8080 -rate 2000 -requests 20000
+//	dfload -addr http://127.0.0.1:8080 -rate 0 -encoding both -format json -out BENCH_serve.json
+//
+// With -encoding both, the run executes one pass per encoding (JSON
+// first, then application/x-df-batch) against the same monitors and the
+// artifact carries one result row per endpoint × encoding — the
+// before/after for the binary batch ingest path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	fairness "repro"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	addr        string
+	rate        float64
+	requests    int
+	duration    time.Duration
+	connections int
+	monitors    int
+	monitorSkew float64
+	groupSkew   float64
+	batch       int
+	mix         string
+	seed        uint64
+	spaceSpec   string
+	outcomes    int
+	encoding    string
+	format      string
+	out         string
+	targetEps   float64
+	alpha       float64
+	warmup      int
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dfload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.addr, "addr", "http://127.0.0.1:8080", "dfserve base URL")
+	fs.Float64Var(&c.rate, "rate", 1000, "offered load in requests/second across all connections; 0 = closed-loop saturation")
+	fs.IntVar(&c.requests, "requests", 10000, "total requests per pass")
+	fs.DurationVar(&c.duration, "duration", 0, "optional wall-clock cap per pass (0 = until -requests complete)")
+	fs.IntVar(&c.connections, "connections", 4, "concurrent connections (one synthesis substream each)")
+	fs.IntVar(&c.monitors, "monitors", 4, "distinct monitors traffic spreads over")
+	fs.Float64Var(&c.monitorSkew, "monitor-skew", 1.0, "zipf exponent of hot-key skew across monitors (0 = uniform)")
+	fs.Float64Var(&c.groupSkew, "group-skew", 0.5, "zipf exponent of population skew across intersectional groups")
+	fs.IntVar(&c.batch, "batch", 64, "observations per observe/decide batch")
+	fs.StringVar(&c.mix, "mix", "observe=0.9,decide=0.05,report=0.05", "traffic mix as op=weight pairs")
+	fs.Uint64Var(&c.seed, "seed", 1, "master seed; connection w synthesizes from substream (seed, w)")
+	fs.StringVar(&c.spaceSpec, "space", "gender:2,race:5,income:3", "protected-attribute space as name:cardinality pairs")
+	fs.IntVar(&c.outcomes, "outcomes", 2, "outcome vocabulary size")
+	fs.StringVar(&c.encoding, "encoding", "json", "batch body encoding: json, binary, or both (one pass per encoding)")
+	fs.StringVar(&c.format, "format", "text", "output format: text or json (the BENCH_serve.json artifact)")
+	fs.StringVar(&c.out, "out", "", "output path (default stdout)")
+	fs.Float64Var(&c.targetEps, "target-epsilon", 0.5, "repair-plan target installed before decide traffic")
+	fs.Float64Var(&c.alpha, "alpha", 1, "monitor smoothing pseudo-count")
+	fs.IntVar(&c.warmup, "warmup", 512, "observations seeded per monitor before the pass (gives decide plans a non-degenerate window)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := c.execute(stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "dfload:", err)
+		return 1
+	}
+	return 0
+}
+
+func (c *config) execute(stdout, stderr io.Writer) error {
+	space, err := parseSpace(c.spaceSpec)
+	if err != nil {
+		return err
+	}
+	mix, err := parseMix(c.mix)
+	if err != nil {
+		return err
+	}
+	var encodings []string
+	switch c.encoding {
+	case "json":
+		encodings = []string{"json"}
+	case "binary":
+		encodings = []string{"binary"}
+	case "both":
+		encodings = []string{"json", "binary"}
+	default:
+		return fmt.Errorf("-encoding must be json, binary or both, got %q", c.encoding)
+	}
+	switch c.format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("-format must be text or json, got %q", c.format)
+	}
+
+	workload := loadgen.WorkloadConfig{
+		Space:       space,
+		Outcomes:    c.outcomes,
+		Monitors:    c.monitors,
+		MonitorSkew: c.monitorSkew,
+		GroupSkew:   c.groupSkew,
+		BatchSize:   c.batch,
+		Mix:         mix,
+		BaseRate:    0.2,
+		RateSpread:  0.5,
+		Seed:        c.seed,
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        c.connections * 2,
+		MaxIdleConnsPerHost: c.connections * 2,
+	}}
+	base := strings.TrimRight(c.addr, "/")
+	doer := &loadgen.HTTPDoer{
+		Base:       base,
+		Client:     client,
+		MonitorIDs: monitorIDs(c.monitors),
+		ReportSeed: c.seed,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := c.provision(ctx, client, base, space, mix); err != nil {
+		return err
+	}
+
+	artifact := &loadgen.Artifact{
+		SchemaVersion: loadgen.ArtifactSchemaVersion,
+		Config: loadgen.ArtifactConfig{
+			Seed:       c.seed,
+			Rate:       fairness.JSONFloat(c.rate),
+			Requests:   c.requests,
+			Workers:    c.connections,
+			Monitors:   c.monitors,
+			Skew:       fairness.JSONFloat(c.monitorSkew),
+			GroupSkew:  fairness.JSONFloat(c.groupSkew),
+			BatchSize:  c.batch,
+			MixObserve: fairness.JSONFloat(mix.Observe),
+			MixDecide:  fairness.JSONFloat(mix.Decide),
+			MixReport:  fairness.JSONFloat(mix.Report),
+			Space:      c.spaceSpec,
+			Groups:     space.Size(),
+			Outcomes:   c.outcomes,
+		},
+	}
+	for _, enc := range encodings {
+		passCtx := ctx
+		var cancel context.CancelFunc
+		if c.duration > 0 {
+			passCtx, cancel = context.WithTimeout(ctx, c.duration)
+		}
+		fmt.Fprintf(stderr, "dfload: %s pass: %d requests at rate %g over %d connections\n",
+			enc, c.requests, c.rate, c.connections)
+		sum, err := loadgen.Run(passCtx, loadgen.RunConfig{
+			Workload: workload,
+			Binary:   enc == "binary",
+			Rate:     c.rate,
+			Requests: c.requests,
+			Workers:  c.connections,
+			Clock:    newWallClock(),
+			Doer:     doer,
+		})
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil && ctx.Err() != nil {
+			return fmt.Errorf("interrupted during %s pass", enc)
+		}
+		artifact.Results = append(artifact.Results, loadgen.BuildResults(sum, enc)...)
+		if sum.ScheduleLateMax > int64(time.Millisecond) {
+			fmt.Fprintf(stderr, "dfload: %s pass: scheduler fell behind by up to %v (open-loop latencies include the lag)\n",
+				enc, time.Duration(sum.ScheduleLateMax))
+		}
+	}
+
+	w := stdout
+	if c.out != "" {
+		f, err := os.Create(c.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if c.format == "json" {
+		return artifact.RenderJSON(w)
+	}
+	return artifact.RenderText(w)
+}
+
+// provision creates the run's monitors and, when the mix carries decide
+// traffic, seeds each with warmup observations and installs a repair
+// plan (decide without an installed plan is a 409).
+func (c *config) provision(ctx context.Context, client *http.Client, base string, space *core.Space, mix loadgen.Mix) error {
+	outcomes := make([]string, c.outcomes)
+	for i := range outcomes {
+		outcomes[i] = "y" + strconv.Itoa(i)
+	}
+	spec := loadgen.MonitorSpecJSON(space, outcomes, c.alpha)
+	warmupSynth, err := loadgen.NewSynth(loadgen.WorkloadConfig{
+		Space:     space,
+		Outcomes:  c.outcomes,
+		Monitors:  c.monitors,
+		GroupSkew: c.groupSkew,
+		BatchSize: max(c.warmup, 1),
+		Mix:       loadgen.Mix{Observe: 1},
+		BaseRate:  0.2, RateSpread: 0.5,
+		// The warmup stream must not overlap any connection substream.
+		Seed: c.seed ^ 0x9e3779b97f4a7c15,
+	}, 0)
+	if err != nil {
+		return err
+	}
+	for _, id := range monitorIDs(c.monitors) {
+		if err := do(ctx, client, http.MethodPut, base+"/v1/monitors/"+id,
+			"application/json", spec, http.StatusCreated, http.StatusOK); err != nil {
+			return fmt.Errorf("provisioning %s: %w", id, err)
+		}
+		var req loadgen.Request
+		warmupSynth.Next(&req)
+		if c.warmup > 0 {
+			body := loadgen.AppendJSONObserve(nil, req.Groups, req.Outcomes)
+			if err := do(ctx, client, http.MethodPost, base+"/v1/monitors/"+id+"/observe",
+				"application/json", body, http.StatusOK); err != nil {
+				return fmt.Errorf("warming up %s: %w", id, err)
+			}
+		}
+		if mix.Decide > 0 {
+			body := []byte(fmt.Sprintf(`{"target_epsilon": %g, "seed": %d}`, c.targetEps, c.seed))
+			if err := do(ctx, client, http.MethodPost, base+"/v1/monitors/"+id+"/repair",
+				"application/json", body, http.StatusOK); err != nil {
+				return fmt.Errorf("installing plan on %s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// do issues one provisioning request and checks its status.
+func do(ctx context.Context, client *http.Client, method, url, contentType string, body []byte, want ...int) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	for _, w := range want {
+		if resp.StatusCode == w {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, out)
+}
+
+func monitorIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "load-" + strconv.Itoa(i)
+	}
+	return ids
+}
+
+// parseSpace builds a synthetic protected-attribute space from a
+// "name:cardinality,..." spec; values are v0..v<k-1>.
+func parseSpace(spec string) (*core.Space, error) {
+	var attrs []core.Attr
+	for _, part := range strings.Split(spec, ",") {
+		name, card, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-space: %q is not name:cardinality", part)
+		}
+		k, err := strconv.Atoi(card)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("-space: bad cardinality in %q", part)
+		}
+		values := make([]string, k)
+		for i := range values {
+			values[i] = "v" + strconv.Itoa(i)
+		}
+		attrs = append(attrs, core.Attr{Name: name, Values: values})
+	}
+	return core.NewSpace(attrs...)
+}
+
+// parseMix parses "observe=0.9,decide=0.05,report=0.05"; omitted ops
+// weigh zero.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var mix loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return mix, fmt.Errorf("-mix: %q is not op=weight", part)
+		}
+		v, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return mix, fmt.Errorf("-mix: bad weight in %q", part)
+		}
+		switch name {
+		case "observe":
+			mix.Observe = v
+		case "decide":
+			mix.Decide = v
+		case "report":
+			mix.Report = v
+		default:
+			return mix, fmt.Errorf("-mix: unknown op %q (want observe/decide/report)", name)
+		}
+	}
+	return mix, nil
+}
+
+// wallClock implements loadgen.Clock on the process's monotonic clock.
+type wallClock struct{ base time.Time }
+
+func newWallClock() *wallClock { return &wallClock{base: time.Now()} }
+
+func (c *wallClock) Now() int64            { return time.Since(c.base).Nanoseconds() }
+func (c *wallClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubServer records every request dfload sends, in arrival order, and
+// answers with minimal valid dfserve responses.
+type stubServer struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *stubServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		s.log = append(s.log, fmt.Sprintf("%s %s ct=%s body=%s",
+			r.Method, r.URL.String(), r.Header.Get("Content-Type"), body))
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodPut:
+			w.WriteHeader(http.StatusCreated)
+			io.WriteString(w, `{}`)
+		case strings.HasSuffix(r.URL.Path, "/decide"):
+			io.WriteString(w, `{"decisions": [], "observed": 0}`)
+		default:
+			io.WriteString(w, `{"observed": 0, "seen": 0}`)
+		}
+	})
+}
+
+func (s *stubServer) transcript() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return strings.Join(s.log, "\n")
+}
+
+func runOnce(t *testing.T, extra ...string) (string, string) {
+	t.Helper()
+	stub := &stubServer{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	args := append([]string{
+		"-addr", srv.URL,
+		"-rate", "0", // closed loop: sequential per connection, deterministic order
+		"-connections", "1",
+		"-requests", "60",
+		"-monitors", "3",
+		"-batch", "8",
+		"-seed", "7",
+		"-warmup", "16",
+		"-format", "json",
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("dfload exited %d: %s", code, stderr.String())
+	}
+	return stub.transcript(), stdout.String()
+}
+
+// TestDeterministicRequestStream is the acceptance property end to end:
+// two dfload runs with the same seed and flags send a byte-identical
+// request stream — same paths, same content types, same bodies, same
+// order.
+func TestDeterministicRequestStream(t *testing.T) {
+	for _, enc := range []string{"json", "binary"} {
+		a, _ := runOnce(t, "-encoding", enc)
+		b, _ := runOnce(t, "-encoding", enc)
+		if a != b {
+			t.Errorf("encoding %s: two identical runs sent different streams", enc)
+		}
+		if len(a) == 0 {
+			t.Errorf("encoding %s: empty transcript", enc)
+		}
+	}
+	a, _ := runOnce(t, "-encoding", "json")
+	b, _ := runOnce(t, "-encoding", "json", "-seed", "8")
+	if a == b {
+		t.Error("different seeds sent identical streams")
+	}
+}
+
+// TestArtifactShape runs -encoding both and checks the emitted
+// BENCH_serve.json artifact: schema version, config echo, and one
+// result row per endpoint per encoding.
+func TestArtifactShape(t *testing.T) {
+	transcript, out := runOnce(t, "-encoding", "both",
+		"-mix", "observe=0.8,decide=0.1,report=0.1")
+	var artifact struct {
+		SchemaVersion int `json:"schema_version"`
+		Config        struct {
+			Seed     uint64  `json:"seed"`
+			Requests int     `json:"requests"`
+			Rate     float64 `json:"rate_rps"`
+			Monitors int     `json:"monitors"`
+		} `json:"config"`
+		Results []struct {
+			Endpoint      string  `json:"endpoint"`
+			Encoding      string  `json:"encoding"`
+			Requests      uint64  `json:"requests"`
+			ThroughputRPS float64 `json:"throughput_rps"`
+			P99Ms         float64 `json:"p99_ms"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &artifact); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, out)
+	}
+	if artifact.SchemaVersion != 1 || artifact.Config.Seed != 7 ||
+		artifact.Config.Requests != 60 || artifact.Config.Monitors != 3 {
+		t.Fatalf("config mis-echoed: %s", out)
+	}
+	counts := map[string]int{}
+	var total uint64
+	for _, r := range artifact.Results {
+		counts[r.Encoding]++
+		total += r.Requests
+		if r.Requests > 0 && r.ThroughputRPS <= 0 {
+			t.Errorf("%s/%s: requests with zero throughput", r.Endpoint, r.Encoding)
+		}
+	}
+	if counts["json"] == 0 || counts["binary"] == 0 {
+		t.Fatalf("-encoding both must produce rows for both encodings: %s", out)
+	}
+	if total != 120 { // 60 requests per pass, two passes
+		t.Errorf("result rows account for %d requests, want 120", total)
+	}
+	// The binary pass actually sent binary bodies.
+	if !strings.Contains(transcript, "ct=application/x-df-batch") {
+		t.Error("no binary-encoded request in the transcript")
+	}
+	// Decide traffic was preceded by provisioning: plan install per monitor.
+	if !strings.Contains(transcript, "/repair") {
+		t.Error("decide mix did not install a repair plan")
+	}
+}
+
+// TestProvisioning: monitors are created before traffic; warmup
+// observations precede the plan install on each monitor.
+func TestProvisioning(t *testing.T) {
+	transcript, _ := runOnce(t, "-encoding", "json",
+		"-mix", "observe=1,decide=1,report=1")
+	lines := strings.Split(transcript, "\n")
+	firstPost := -1
+	lastPut := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "PUT ") {
+			lastPut = i
+		}
+		if firstPost == -1 && strings.HasPrefix(l, "POST ") {
+			firstPost = i
+		}
+	}
+	if lastPut == -1 {
+		t.Fatal("no monitors provisioned")
+	}
+	if firstPost != -1 && firstPost < 1 {
+		t.Fatalf("traffic before any monitor existed:\n%s", lines[firstPost])
+	}
+}
+
+func TestParseSpace(t *testing.T) {
+	space, err := parseSpace("a:2,b:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size() != 6 || space.NumAttrs() != 2 {
+		t.Fatalf("size = %d, attrs = %d", space.Size(), space.NumAttrs())
+	}
+	for _, bad := range []string{"", "a", "a:0", "a:x", "a:2,,"} {
+		if _, err := parseSpace(bad); err == nil {
+			t.Errorf("parseSpace(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("observe=0.5,decide=0.25,report=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Observe != 0.5 || mix.Decide != 0.25 || mix.Report != 0.25 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := parseMix("observe=0.5,jump=1"); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := parseMix("observe"); err == nil {
+		t.Error("missing weight accepted")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-encoding", "protobuf"},
+		{"-format", "yaml"},
+		{"-space", "bad"},
+		{"-mix", "observe=x"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(append([]string{"-addr", "http://127.0.0.1:1"}, args...), &stdout, &stderr); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

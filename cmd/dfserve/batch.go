@@ -1,0 +1,189 @@
+package main
+
+// The compact binary batch ingest path. Clients POST observe/decide
+// batches with Content-Type application/x-df-batch instead of JSON:
+// the body is a uvarint pair count followed by count × (uvarint group,
+// uvarint outcome). That framing is exactly the WAL observe record's
+// tail after its [kind][id] header (persist.go), so the observe handler
+// splices the request body bytes straight into the durability record —
+// the hot path never re-encodes what the client already encoded. The
+// decode itself is allocation-free (//df:hotpath, asserted at 0
+// allocs/op by scripts/alloc_gate.sh): scratch buffers are pooled and
+// the per-pair loop only indexes and compares.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// batchContentType selects the binary batch encoding on
+// POST /v1/monitors/{id}/observe and /decide. Kept in sync with
+// internal/loadgen.BinaryContentType (cross-checked by a test).
+const batchContentType = "application/x-df-batch"
+
+// isBinaryBatch reports whether the request declares the binary batch
+// encoding. Parameters after ';' are tolerated and ignored.
+func isBinaryBatch(req *http.Request) bool {
+	ct := req.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == batchContentType
+}
+
+// bodyErrStatus maps a request-body error onto its HTTP status: 413
+// when the -max-body-bytes cap tripped, 400 for anything else.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeJSONBody decodes a JSON request body under the server's body
+// cap with unknown fields rejected, writing the error response itself.
+// All JSON endpoints share it so an oversized body is a 413 everywhere
+// and malformed JSON a 400.
+func decodeJSONBody(w http.ResponseWriter, req *http.Request, maxBody int64, v any, what string) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("invalid %s: %w", what, err))
+		return false
+	}
+	return true
+}
+
+// batchScratch is one binary batch's reusable decode state: the raw
+// body (kept because the observe handler splices it into its WAL
+// record) and the decoded index arrays.
+type batchScratch struct {
+	body     []byte
+	groups   []int
+	outcomes []int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func putBatchScratch(s *batchScratch) { batchPool.Put(s) }
+
+// readBinaryBatch reads and decodes one application/x-df-batch body,
+// validating every index against the monitor's shape — the same
+// pre-WAL validation contract as the JSON path: a record must never be
+// committed unless replaying it will succeed. On failure it writes the
+// error response (413 for an oversized body, 400 otherwise) and
+// returns ok=false; on success the caller owns the scratch and must
+// putBatchScratch it when done with the slices and body.
+func readBinaryBatch(w http.ResponseWriter, req *http.Request, maxBody int64, numGroups, numOutcomes int) (*batchScratch, bool) {
+	s := batchPool.Get().(*batchScratch)
+	body, err := readAllInto(s.body[:0], http.MaxBytesReader(w, req.Body, maxBody))
+	s.body = body
+	if err != nil {
+		putBatchScratch(s)
+		writeError(w, bodyErrStatus(err), fmt.Errorf("reading batch body: %w", err))
+		return nil, false
+	}
+	n, off, err := binaryBatchLen(body)
+	if err != nil {
+		putBatchScratch(s)
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if cap(s.groups) < n {
+		s.groups = make([]int, n)
+		s.outcomes = make([]int, n)
+	} else {
+		s.groups = s.groups[:n]
+		s.outcomes = s.outcomes[:n]
+	}
+	if err := decodeBinaryBatch(body, off, s.groups, s.outcomes, numGroups, numOutcomes); err != nil {
+		putBatchScratch(s)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch body: %w", err))
+		return nil, false
+	}
+	return s, true
+}
+
+// readAllInto is io.ReadAll into a reused buffer.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// binaryBatchLen decodes the batch's leading pair count and returns it
+// with the offset of the first pair. The count is bounded by the bytes
+// actually present (each pair is at least two bytes), so a hostile
+// header cannot force a huge scratch allocation.
+func binaryBatchLen(body []byte) (n, off int, err error) {
+	v, m := binary.Uvarint(body)
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("invalid batch body: bad count header")
+	}
+	if v == 0 {
+		return 0, 0, fmt.Errorf("empty batch")
+	}
+	if v > uint64(len(body)-m)/2 {
+		return 0, 0, fmt.Errorf("invalid batch body: claims %d pairs in %d bytes", v, len(body)-m)
+	}
+	return int(v), m, nil
+}
+
+// Sentinel decode errors, allocated once: the hot decode loop must not
+// format (fmt allocates; see the hotpath analyzer).
+var (
+	errBatchTruncated    = errors.New("truncated pair")
+	errBatchTrailing     = errors.New("trailing bytes after batch")
+	errBatchGroupRange   = errors.New("group index outside the monitor's space")
+	errBatchOutcomeRange = errors.New("outcome index outside the monitor's outcomes")
+)
+
+// decodeBinaryBatch decodes len(groups) (group, outcome) uvarint pairs
+// from body starting at off into the preallocated index arrays,
+// bounds-checking every index inline — by the time it returns nil the
+// batch is fully validated against the monitor's shape.
+//
+//df:hotpath
+func decodeBinaryBatch(body []byte, off int, groups, outcomes []int, numGroups, numOutcomes int) error {
+	for i := range groups {
+		g, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return errBatchTruncated
+		}
+		off += n
+		y, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return errBatchTruncated
+		}
+		off += n
+		if g >= uint64(numGroups) {
+			return errBatchGroupRange
+		}
+		if y >= uint64(numOutcomes) {
+			return errBatchOutcomeRange
+		}
+		groups[i] = int(g)
+		outcomes[i] = int(y)
+	}
+	if off != len(body) {
+		return errBatchTrailing
+	}
+	return nil
+}

@@ -38,6 +38,15 @@ func TestMain(m *testing.M) {
 // scraped from the child's log line.
 func startChild(t *testing.T, dir string, extraArgs ...string) (string, func()) {
 	t.Helper()
+	base, _, kill := startChildProc(t, dir, extraArgs...)
+	return base, kill
+}
+
+// startChildProc is startChild plus the child's exec.Cmd, for tests
+// that need to deliver a specific signal (the drain harness SIGTERMs
+// the child instead of SIGKILLing it) or inspect its exit status.
+func startChildProc(t *testing.T, dir string, extraArgs ...string) (string, *exec.Cmd, func()) {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +92,7 @@ func startChild(t *testing.T, dir string, extraArgs ...string) (string, func()) 
 			resp, err := http.Get(base + "/healthz")
 			if err == nil {
 				resp.Body.Close()
-				return base, kill
+				return base, cmd, kill
 			}
 			if time.Now().After(deadline) {
 				kill()
@@ -94,7 +103,7 @@ func startChild(t *testing.T, dir string, extraArgs ...string) (string, func()) 
 	case <-time.After(30 * time.Second):
 		kill()
 		t.Fatal("child never logged its listen address")
-		return "", nil
+		return "", nil, nil
 	}
 }
 

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+// The drain-under-load harness: a real dfserve child takes sustained
+// loadgen traffic, the parent SIGTERMs it mid-run, and every request in
+// flight or issued during the drain must see a clean outcome — a 2xx, an
+// honest 503 with Retry-After from the drain gate, or (once the listener
+// is gone) a refused dial. A connection reset or a half-written response
+// before the drain gate has answered fails the test: that is precisely
+// the race the drain gate exists to close (a broken gate resets
+// keep-alive connections the client is mid-write on, with zero 503s to
+// show for it).
+
+// drainClock is the wall clock for the in-parent load run. (The
+// deterministic Clock injection exists for loadgen's own unit tests;
+// here real time is the point.)
+type drainClock struct{ base time.Time }
+
+func (c drainClock) Now() int64            { return int64(time.Since(c.base)) }
+func (c drainClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// acceptableDrainErr reports whether a transport error is a clean
+// shutdown artifact rather than a dirty reset: a refused dial after the
+// listener closed, or the server FIN-closing an idle keep-alive
+// connection between our requests (Go's Shutdown closes idle conns; a
+// FIN before any request bytes are processed is not a reset).
+func acceptableDrainErr(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	return strings.Contains(err.Error(), "server closed idle connection")
+}
+
+// resetErr reports a reset-class error: the connection died after the
+// request was written but before any response bytes. Before the drain
+// gate has shown itself this is exactly the dirty teardown the test
+// exists to catch; once 503s are flowing, a handful of these are the
+// unavoidable tail of closing a TCP listener under active dialing
+// (connections still in the kernel accept queue are reset, never having
+// reached the server — the same class a load balancer retries like a
+// refused dial).
+func resetErr(err error) bool {
+	return errors.Is(err, syscall.ECONNRESET) ||
+		strings.Contains(err.Error(), "EOF")
+}
+
+func TestDrainUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dir := t.TempDir()
+	base, cmd, kill := startChildProc(t, dir, "-drain", "5s")
+	defer kill()
+
+	space := core.MustSpace(
+		core.Attr{Name: "g", Values: []string{"a", "b"}},
+		core.Attr{Name: "r", Values: []string{"x", "y"}},
+	)
+	mustChildReq(t, base, http.MethodPut, "/v1/monitors/m",
+		string(loadgen.MonitorSpecJSON(space, []string{"deny", "approve"}, 0)),
+		http.StatusCreated)
+
+	// Closed-loop saturation from 4 connections: the workers keep firing
+	// through the SIGTERM, so the stream straddles every shutdown phase —
+	// normal service, the drain gate, and the closed listener.
+	const totalRequests = 6000
+	const signalAfter = 300
+	var (
+		mu      sync.Mutex
+		results []loadgen.Result
+		count   atomic.Int64
+	)
+	cfg := loadgen.RunConfig{
+		Workload: loadgen.WorkloadConfig{
+			Space:     space,
+			Outcomes:  2,
+			Monitors:  1,
+			GroupSkew: 0.5,
+			BatchSize: 8,
+			Mix:       loadgen.Mix{Observe: 1},
+			BaseRate:  0.2, RateSpread: 0.5,
+			Seed: 1,
+		},
+		Binary:   true, // the new ingest path is the one that must drain cleanly
+		Requests: totalRequests,
+		Workers:  4,
+		Clock:    drainClock{base: time.Now()},
+		Doer: &loadgen.HTTPDoer{
+			Base: base,
+			Client: &http.Client{Transport: &http.Transport{
+				MaxIdleConns:        8,
+				MaxIdleConnsPerHost: 8,
+			}},
+			MonitorIDs: []string{"m"},
+		},
+		OnResult: func(res loadgen.Result) {
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+			if count.Add(1) == signalAfter {
+				if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+					t.Errorf("SIGTERM: %v", err)
+				}
+			}
+		},
+	}
+	if _, err := loadgen.Run(t.Context(), cfg); err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+
+	// The child must finish its drain and exit cleanly well inside the
+	// 5s deadline (a blown deadline exits nonzero).
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Errorf("child did not exit cleanly after drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("child never exited after SIGTERM")
+	}
+
+	var ok2xx, drained503, refused, finClosed, lateReset int
+	var dirty []string
+	seen503 := false
+	for _, res := range results {
+		switch {
+		case res.Err == nil && res.Status >= 200 && res.Status < 300:
+			ok2xx++
+		case res.Err == nil && res.Status == http.StatusServiceUnavailable && res.RetryAfter:
+			drained503++
+			seen503 = true
+		case res.Err != nil && errors.Is(res.Err, syscall.ECONNREFUSED):
+			refused++
+		case res.Err != nil && acceptableDrainErr(res.Err):
+			finClosed++
+		case res.Err != nil && seen503 && resetErr(res.Err):
+			// Accept-queue teardown race at listener close (see
+			// resetErr); only excusable once the drain gate is
+			// demonstrably answering, and only in small numbers.
+			lateReset++
+		default:
+			dirty = append(dirty, fmt.Sprintf("status=%d retryAfter=%v err=%v",
+				res.Status, res.RetryAfter, res.Err))
+		}
+	}
+	t.Logf("drain outcomes: %d ok, %d 503+Retry-After, %d refused, %d idle-closed, %d late resets, %d dirty",
+		ok2xx, drained503, refused, finClosed, lateReset, len(dirty))
+	if max := totalRequests / 100; lateReset > max {
+		t.Errorf("%d reset-class errors during listener teardown; want at most %d", lateReset, max)
+	}
+	if len(dirty) > 0 {
+		n := len(dirty)
+		if n > 5 {
+			dirty = dirty[:5]
+		}
+		t.Errorf("%d requests saw dirty outcomes during drain, e.g.:\n  %s",
+			n, strings.Join(dirty, "\n  "))
+	}
+	if len(results) != totalRequests {
+		t.Errorf("results for %d of %d requests", len(results), totalRequests)
+	}
+	if ok2xx < signalAfter {
+		t.Errorf("only %d successes before the kill landed; want at least %d", ok2xx, signalAfter)
+	}
+	// The SIGTERM landed mid-run, so the tail of the stream must show
+	// drain evidence: the gate's 503s and/or refused dials.
+	if drained503+refused == 0 {
+		t.Error("no request ever saw the drain: the signal landed after the run finished")
+	}
+
+	// The drained data directory must reboot into a healthy server that
+	// still holds every acknowledged observation.
+	base2, kill2 := startChild(t, dir)
+	defer kill2()
+	stats := mustChildReq(t, base2, http.MethodGet, "/v1/monitors/m", "", http.StatusOK)
+	if !strings.Contains(string(stats), `"seen"`) {
+		t.Errorf("rebooted monitor stats look wrong: %s", stats)
+	}
+}

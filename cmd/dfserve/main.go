@@ -13,12 +13,21 @@
 //	GET    /v1/monitors               — list monitors
 //	GET    /v1/monitors/{id}          — one monitor's config and counters
 //	DELETE /v1/monitors/{id}          — remove a monitor
-//	POST   /v1/monitors/{id}/observe  — ingest a batch of decisions (hot path)
+//	POST   /v1/monitors/{id}/observe  — ingest a batch of decisions (hot path;
+//	                                    JSON or application/x-df-batch)
 //	GET    /v1/monitors/{id}/report   — full versioned Report from a live snapshot
 //	                                    (?stream=served for the post-repair stream)
 //	POST   /v1/monitors/{id}/repair   — compute + install a plan from the live window
 //	POST   /v1/monitors/{id}/decide   — apply the installed plan to a decision batch
+//	                                    (JSON or application/x-df-batch)
 //	GET    /healthz                   — liveness probe
+//
+// Observe and decide batches may be posted either as JSON or with
+// Content-Type application/x-df-batch: a uvarint pair count followed by
+// count × (uvarint group, uvarint outcome) — the same framing as the
+// WAL's observe records, so a binary observe body is spliced into the
+// durability log verbatim. Request bodies everywhere are capped at
+// -max-body-bytes; oversized bodies are rejected with 413.
 //
 // Stateless audits get a per-request Auditor over the shared worker-pool
 // engine; the request context is threaded through the
@@ -68,7 +77,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker-pool cap per request (0 = one per CPU)")
-	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes")
+	maxBody := flag.Int64("max-body-bytes", 32<<20, "maximum request body bytes; oversized bodies get 413")
 	maxResamples := flag.Int("max-resamples", 100_000, "maximum bootstrap replicates / posterior samples per request")
 	maxMonitors := flag.Int("max-monitors", 1024, "maximum registered monitors")
 	maxMonitorCells := flag.Int("max-monitor-cells", 1<<20, "maximum stored cells per monitor stream: groups × outcomes × ingest shards (× buckets for sliding windows); a monitor with an installed repair plan stores two streams (raw + served)")
@@ -118,7 +127,21 @@ func main() {
 		<-ctx.Done()
 		stop()
 		sv.draining.Store(true)
+		// Hold a short grace window with the listener still open before
+		// Shutdown. Shutdown (and SetKeepAlivesEnabled) close "idle"
+		// keep-alive connections immediately, but a client may be
+		// mid-write on one it considers live — closing a socket with
+		// unread bytes sends a RST, exactly the dirty teardown the drain
+		// gate exists to prevent. During the grace, racing requests get
+		// the gate's honest 503 + Retry-After + Connection: close, so
+		// every active connection winds down with a clean FIN after a
+		// complete response; Shutdown then only reaps truly idle ones.
 		log.Printf("dfserve: signal received, draining for up to %v", *drain)
+		grace := *drain / 4
+		if grace > time.Second {
+			grace = time.Second
+		}
+		time.Sleep(grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		drained <- srv.Shutdown(shutdownCtx)
@@ -180,6 +203,10 @@ type server struct {
 // the drain.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() && r.URL.Path != "/healthz" {
+		// Connection: close makes the server finish this response and
+		// then FIN the connection — the clean per-connection wind-down
+		// the drain's grace period relies on.
+		w.Header().Set("Connection", "close")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
 		return
@@ -295,10 +322,7 @@ type credibleSpec struct {
 
 func handleAudit(w http.ResponseWriter, r *http.Request, cfg serverConfig) {
 	var req auditRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	if !decodeJSONBody(w, r, cfg.maxBody, &req, "request body") {
 		return
 	}
 

@@ -173,6 +173,20 @@ func encodeObserveRecord(id string, groups, outcomes []int) []byte {
 	return buf
 }
 
+// encodeObserveRecordFromBatch builds the same record as
+// encodeObserveRecord from an already-encoded application/x-df-batch
+// body: the wire framing after the record's [kind][id] header IS the
+// batch framing, so the client's bytes are spliced in verbatim — the
+// binary observe path commits to the WAL without re-encoding. The
+// caller must have validated the batch first (readBinaryBatch does).
+func encodeObserveRecordFromBatch(id string, batch []byte) []byte {
+	buf := make([]byte, 0, 16+len(id)+len(batch))
+	buf = append(buf, recObserve)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	return append(buf, batch...)
+}
+
 func encodeDecideRecord(id string, ticket uint64, groups, raw, repaired []int) []byte {
 	buf := make([]byte, 0, 24+len(id)+6*len(groups))
 	buf = append(buf, recDecide)

@@ -190,10 +190,7 @@ func (r *registry) handlePut(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var spec monitorSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid monitor config: %w", err))
+	if !decodeJSONBody(w, req, r.cfg.maxBody, &spec, "monitor config") {
 		return
 	}
 	mon, watch, err := spec.build(r.cfg.maxMonitorCells)
@@ -379,28 +376,41 @@ type alertReport struct {
 // check that ObserveBatch would do runs up front, then the durable
 // append happens (under the shared persist lock) before the in-memory
 // apply and the acknowledgment. When the monitor has a threshold, one ε
-// check runs per batch (not per observation).
+// check runs per batch (not per observation). Bodies arrive as JSON or
+// as the compact application/x-df-batch encoding (batch.go); the
+// binary form's bytes double as the WAL record tail, so the durable
+// path never re-encodes them.
 func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 	e, ok := r.lookup(req.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", req.PathValue("id")))
 		return
 	}
-	var body observeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid observe body: %w", err))
-		return
-	}
-	groups, outcomes, err := e.encode(&body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := e.validateBatch(groups, outcomes); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	var groups, outcomes []int
+	var batch *batchScratch // non-nil on the binary path
+	if isBinaryBatch(req) {
+		batch, ok = readBinaryBatch(w, req, r.cfg.maxBody,
+			e.mon.Space().Size(), len(e.cfg.Outcomes))
+		if !ok {
+			return
+		}
+		defer putBatchScratch(batch)
+		groups, outcomes = batch.groups, batch.outcomes
+	} else {
+		var body observeRequest
+		if !decodeJSONBody(w, req, r.cfg.maxBody, &body, "observe body") {
+			return
+		}
+		var err error
+		groups, outcomes, err = e.encode(&body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := e.validateBatch(groups, outcomes); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 
 	// The unwatched path is pure sharded ingest: no snapshot merge, no
@@ -408,6 +418,7 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 	// (the threshold check), whose effective mass the response reuses.
 	var alert *fairness.Alert
 	var effective *float64
+	var err error
 	ingest := func() error {
 		if e.watch != nil {
 			var eff float64
@@ -429,7 +440,14 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 				fmt.Errorf("monitor %q was concurrently replaced; retry", e.id))
 			return
 		}
-		if err := r.store.commit(encodeObserveRecord(e.id, groups, outcomes)); err != nil {
+		// Binary bodies are already in WAL framing — splice, don't re-encode.
+		var rec []byte
+		if batch != nil {
+			rec = encodeObserveRecordFromBatch(e.id, batch.body)
+		} else {
+			rec = encodeObserveRecord(e.id, groups, outcomes)
+		}
+		if err := r.store.commit(rec); err != nil {
 			r.persistMu.RUnlock()
 			writeDegraded(w, r.store.degraded())
 			return

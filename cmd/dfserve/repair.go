@@ -84,10 +84,7 @@ type repairRequest struct {
 // stateless, like POST /v1/audit.
 func handleRepair(w http.ResponseWriter, r *http.Request, cfg serverConfig) {
 	var req repairRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	if !decodeJSONBody(w, r, cfg.maxBody, &req, "request body") {
 		return
 	}
 	if req.Options.TargetEpsilon == nil {
@@ -189,10 +186,7 @@ func (r *registry) handleMonitorRepair(w http.ResponseWriter, req *http.Request)
 		return
 	}
 	var body monitorRepairRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid repair body: %w", err))
+	if !decodeJSONBody(w, req, r.cfg.maxBody, &body, "repair body") {
 		return
 	}
 	if body.TargetEpsilon == nil {
@@ -355,11 +349,23 @@ func (r *registry) handleDecide(w http.ResponseWriter, req *http.Request) {
 	// whenever a plan is.
 	served := e.served.Load()
 	var body decideRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, r.cfg.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid decide body: %w", err))
-		return
+	if isBinaryBatch(req) {
+		// The binary batch's outcome column carries the proposed
+		// decisions; bounds are validated inline by the decode. Unlike
+		// observe, decide cannot splice the body into its WAL record —
+		// the durable record also carries the ticket base and the
+		// repaired column, which only exist after ApplyAt.
+		batch, ok := readBinaryBatch(w, req, r.cfg.maxBody,
+			e.mon.Space().Size(), len(e.cfg.Outcomes))
+		if !ok {
+			return
+		}
+		defer putBatchScratch(batch)
+		body.Groups, body.Decisions = batch.groups, batch.outcomes
+	} else {
+		if !decodeJSONBody(w, req, r.cfg.maxBody, &body, "decide body") {
+			return
+		}
 	}
 	if len(body.Groups) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty decide batch"))

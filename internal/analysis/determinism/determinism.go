@@ -2,8 +2,8 @@
 // invariant: every report, plan and resampled interval is a
 // deterministic function of (inputs, options, seed), bit-identical
 // across GOMAXPROCS. Inside the determinism-critical packages
-// (internal/{core,rng,resample,bayes,repair,stream} and the public
-// fairness package) it forbids the three stdlib idioms that silently
+// (internal/{core,rng,resample,bayes,repair,stream,wal,loadgen} and the
+// public fairness package) it forbids the three stdlib idioms that silently
 // break that guarantee:
 //
 //   - importing math/rand or math/rand/v2: randomness must flow through
@@ -39,6 +39,10 @@ var criticalPackages = map[string]bool{
 	"repro/internal/repair":   true,
 	"repro/internal/stream":   true,
 	"repro/internal/wal":      true,
+	// Load synthesis must replay byte-identically from (seed, worker):
+	// the dfload acceptance property and the BENCH_serve.json
+	// comparability across runs both hang on it.
+	"repro/internal/loadgen": true,
 }
 
 // wallClockFuncs are the package time entry points that read or schedule

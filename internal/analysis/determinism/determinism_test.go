@@ -14,11 +14,12 @@ func TestDeterminismFixture(t *testing.T) {
 
 func TestScope(t *testing.T) {
 	for path, want := range map[string]bool{
-		"repro":                 true,
-		"repro/internal/stream": true,
-		"repro/internal/rng":    true,
-		"repro/internal/census": false, // synthetic data generation is seeded but not ε-critical
-		"repro/cmd/dfserve":     false,
+		"repro":                  true,
+		"repro/internal/stream":  true,
+		"repro/internal/rng":     true,
+		"repro/internal/loadgen": true,  // workload synthesis must replay from (seed, worker)
+		"repro/internal/census":  false, // synthetic data generation is seeded but not ε-critical
+		"repro/cmd/dfserve":      false,
 	} {
 		got := determinism.Analyzer.AppliesTo(&framework.Package{ImportPath: path})
 		if got != want {

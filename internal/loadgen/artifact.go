@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	fairness "repro"
+)
+
+// Artifact is the BENCH_serve.json schema: one serving-path benchmark
+// run, carrying the full configuration (so a number is never divorced
+// from the flags that produced it) and one result row per
+// endpoint × encoding. schema_version counts breaking changes, like
+// the Report and RepairPlan schemas.
+type Artifact struct {
+	SchemaVersion int              `json:"schema_version"`
+	Config        ArtifactConfig   `json:"config"`
+	Results       []EndpointResult `json:"results"`
+}
+
+// ArtifactSchemaVersion is the current Artifact schema.
+const ArtifactSchemaVersion = 1
+
+// ArtifactConfig records the run's parameters.
+type ArtifactConfig struct {
+	Seed       uint64             `json:"seed"`
+	Rate       fairness.JSONFloat `json:"rate_rps"` // 0 = closed-loop saturation
+	Requests   int                `json:"requests"`
+	Workers    int                `json:"connections"`
+	Monitors   int                `json:"monitors"`
+	Skew       fairness.JSONFloat `json:"monitor_skew"`
+	GroupSkew  fairness.JSONFloat `json:"group_skew"`
+	BatchSize  int                `json:"batch_size"`
+	MixObserve fairness.JSONFloat `json:"mix_observe"`
+	MixDecide  fairness.JSONFloat `json:"mix_decide"`
+	MixReport  fairness.JSONFloat `json:"mix_report"`
+	Space      string             `json:"space"`
+	Groups     int                `json:"groups"`
+	Outcomes   int                `json:"outcomes"`
+}
+
+// EndpointResult is one endpoint's aggregate under one encoding.
+// Latencies are milliseconds; quantiles come from the log-bucketed
+// histogram (≤6.25% relative bucket error), measured from the scheduled
+// send time in open-loop runs.
+type EndpointResult struct {
+	Endpoint      string             `json:"endpoint"`
+	Encoding      string             `json:"encoding"`
+	Requests      uint64             `json:"requests"`
+	Errors        uint64             `json:"errors"`
+	Status503     uint64             `json:"status_503"`
+	Observations  uint64             `json:"observations"`
+	DurationSec   fairness.JSONFloat `json:"duration_sec"`
+	ThroughputRPS fairness.JSONFloat `json:"throughput_rps"`
+	ObsPerSec     fairness.JSONFloat `json:"obs_per_sec"`
+	MeanMs        fairness.JSONFloat `json:"mean_ms"`
+	P50Ms         fairness.JSONFloat `json:"p50_ms"`
+	P99Ms         fairness.JSONFloat `json:"p99_ms"`
+	P999Ms        fairness.JSONFloat `json:"p999_ms"`
+	MaxMs         fairness.JSONFloat `json:"max_ms"`
+}
+
+// BuildResults converts one pass's summary into artifact rows, one per
+// endpoint that saw traffic, in Op order (deterministic output).
+func BuildResults(sum *Summary, encoding string) []EndpointResult {
+	const ms = 1e6
+	span := float64(sum.EndNs-sum.StartNs) / 1e9
+	var rows []EndpointResult
+	for op := Op(0); op < numOps; op++ {
+		st := &sum.Ops[op]
+		if st.Requests == 0 {
+			continue
+		}
+		row := EndpointResult{
+			Endpoint:     op.String(),
+			Encoding:     encoding,
+			Requests:     st.Requests,
+			Errors:       st.Errors,
+			Status503:    st.Status503,
+			Observations: st.Observations,
+			DurationSec:  fairness.JSONFloat(span),
+			MeanMs:       fairness.JSONFloat(st.Hist.Mean() / ms),
+			P50Ms:        fairness.JSONFloat(float64(st.Hist.Quantile(0.50)) / ms),
+			P99Ms:        fairness.JSONFloat(float64(st.Hist.Quantile(0.99)) / ms),
+			P999Ms:       fairness.JSONFloat(float64(st.Hist.Quantile(0.999)) / ms),
+			MaxMs:        fairness.JSONFloat(float64(st.Hist.Max()) / ms),
+		}
+		if span > 0 {
+			row.ThroughputRPS = fairness.JSONFloat(float64(st.Requests) / span)
+			row.ObsPerSec = fairness.JSONFloat(float64(st.Observations) / span)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderJSON writes the artifact with stable field order and trailing
+// newline, mirroring Report.RenderJSON.
+func (a *Artifact) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// RenderText writes a human-readable comparison table.
+func (a *Artifact) RenderText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"dfload: seed=%d requests=%d connections=%d monitors=%d batch=%d rate=%g\n",
+		a.Config.Seed, a.Config.Requests, a.Config.Workers, a.Config.Monitors,
+		a.Config.BatchSize, float64(a.Config.Rate)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-7s %10s %8s %6s %5s %10s %10s %10s %10s\n",
+		"endpoint", "enc", "requests", "rps", "errs", "503", "p50(ms)", "p99(ms)", "p999(ms)", "max(ms)"); err != nil {
+		return err
+	}
+	for _, r := range a.Results {
+		if _, err := fmt.Fprintf(w, "%-8s %-7s %10d %8.0f %6d %5d %10.3f %10.3f %10.3f %10.3f\n",
+			r.Endpoint, r.Encoding, r.Requests, float64(r.ThroughputRPS),
+			r.Errors, r.Status503, float64(r.P50Ms), float64(r.P99Ms),
+			float64(r.P999Ms), float64(r.MaxMs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: boots a real dfserve on loopback, drives it
+# with a fixed-seed dfload pass in closed-loop saturation mode over both
+# wire encodings, and emits the resulting BENCH_serve.json artifact —
+# per-endpoint p50/p99/p999 latency and throughput for JSON vs
+# application/x-df-batch. Unlike the other bench_*.sh scripts this one
+# measures the shipped binaries end to end (HTTP, WAL, repair appliers
+# included), not an in-process microbenchmark.
+#
+# The gate at the end enforces the binary encoding's reason to exist:
+# at the benchmark batch size, binary observe throughput must beat JSON
+# strictly (the batch body splices into the WAL without re-encoding and
+# decodes allocation-free).
+#
+# Usage: scripts/bench_serve.sh [output.json] [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve.json}"
+work="${2:-$(mktemp -d)}"
+data="$work/data"
+mkdir -p "$data"
+
+go build -o "$work/dfserve" ./cmd/dfserve
+go build -o "$work/dfload" ./cmd/dfload
+
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill -9 "$serve_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$work/dfserve" -addr 127.0.0.1:0 -data-dir "$data" -fsync batch 2> "$work/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*listening on //p' "$work/serve.log" | head -1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.05
+done
+[[ -n "$addr" ]] || { echo "bench_serve: server never listened"; cat "$work/serve.log"; exit 1; }
+base="http://$addr"
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" >/dev/null && break
+  sleep 0.05
+done
+
+# Fixed seed and flags: the synthesized request streams are
+# byte-identical across runs, so BENCH_serve.json rows compare across
+# PRs. Closed-loop (-rate 0) measures saturation throughput; -encoding
+# both runs the identical workload once per wire encoding.
+"$work/dfload" -addr "$base" \
+  -rate 0 -requests "${REQUESTS:-4000}" -connections 4 \
+  -monitors 4 -batch 128 -seed 42 \
+  -mix 'observe=0.85,decide=0.1,report=0.05' \
+  -encoding both -format json -out "$out"
+
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "wrote $out"
+
+# Gate: binary observe throughput strictly above JSON. The artifact is
+# indented JSON with endpoint/encoding preceding throughput_rps in each
+# result row, so a line scanner can pair them up.
+awk '
+/"endpoint":/  { gsub(/[",]/, "", $2); ep = $2 }
+/"encoding":/  { gsub(/[",]/, "", $2); enc = $2 }
+/"throughput_rps":/ {
+  gsub(/,/, "", $2)
+  if (ep == "observe") tput[enc] = $2 + 0
+}
+END {
+  if (!("json" in tput) || !("binary" in tput)) {
+    print "bench_serve FAILED: artifact is missing observe rows for both encodings"
+    exit 1
+  }
+  printf "observe throughput: json %.0f rps, binary %.0f rps (%.2fx)\n",
+    tput["json"], tput["binary"], tput["binary"] / tput["json"]
+  if (tput["binary"] <= tput["json"]) {
+    print "bench_serve FAILED: binary batch ingest must beat JSON at batch 128"
+    exit 1
+  }
+}' "$out"
