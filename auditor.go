@@ -289,6 +289,21 @@ func MustAuditor(space *Space, outcomes []string, opts ...Option) *Auditor {
 // engines, so canceling it makes an in-flight Run return promptly with
 // ctx.Err(). Callers without a deadline pass context.Background().
 func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
+	return a.run(ctx, counts, nil)
+}
+
+// runWithLadder is Run with a precomputed subset-ε ladder, as maintained
+// incrementally by a streaming monitor: the ladder replaces the
+// EpsilonSubsetsCounts recompute (the only part of an audit that scales
+// with the lattice), and everything else — the full-space ε, intervals,
+// reversals, repair — still derives from counts. The ladder must have
+// been measured over the same counts and estimator alpha; Monitor.Audit
+// guarantees that before calling.
+func (a *Auditor) runWithLadder(ctx context.Context, counts *Counts, ladder []core.SubsetEpsilon) (*Report, error) {
+	return a.run(ctx, counts, ladder)
+}
+
+func (a *Auditor) run(ctx context.Context, counts *Counts, ladder []core.SubsetEpsilon) (*Report, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("fairness: Auditor.Run: nil ctx (pass context.Background() if no deadline applies)")
 	}
@@ -347,10 +362,15 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 	if cfg.subsets {
 		// The subset ladder shares marginalization work along the lattice
 		// (each subset's counts derived from a one-attribute-larger
-		// parent) instead of re-aggregating the full table 2^p times.
-		subs, err := core.EpsilonSubsetsCounts(counts, cfg.alpha)
-		if err != nil {
-			return nil, err
+		// parent) instead of re-aggregating the full table 2^p times —
+		// unless the caller already maintains the ladder incrementally,
+		// in which case it arrives precomputed.
+		subs := ladder
+		if subs == nil {
+			subs, err = core.EpsilonSubsetsCounts(counts, cfg.alpha)
+			if err != nil {
+				return nil, err
+			}
 		}
 		core.SortSubsetsByEpsilon(subs)
 		for _, s := range subs {

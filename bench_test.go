@@ -570,6 +570,72 @@ func BenchmarkMonitorObserveParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkWatchObserveBatchChecked is the headline incremental-ε
+// benchmark: per-batch checked ingest on a census-scale watch (9 binary
+// protected attributes, 512 intersectional groups). "incremental" is the
+// shipping path — each check drains the shards' dirty-cell logs and
+// rescans only the touched groups; "snapshot" is the retained
+// authoritative baseline that re-merges every shard and recomputes ε
+// from scratch per check. The shard count is pinned so the baseline's
+// O(shards × cells) merge cost doesn't vary with the host.
+// scripts/bench_stream.sh records both and gates snapshot/incremental
+// ns/op at ≥ 5×.
+func BenchmarkWatchObserveBatchChecked(b *testing.B) {
+	attrs := make([]core.Attr, 9)
+	for i := range attrs {
+		attrs[i] = core.Attr{Name: fmt.Sprintf("a%d", i), Values: []string{"0", "1"}}
+	}
+	space := core.MustSpace(attrs...)
+	const batch = 64
+	newWatch := func(b *testing.B) *stream.Watch {
+		m, err := stream.New(space, []string{"deny", "approve"}, stream.Config{
+			Policy: stream.Sliding{Window: 1 << 16, Buckets: 8},
+			Alpha:  1,
+			Shards: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// An unreachable threshold keeps alert allocation out of both
+		// measurements; every check still runs the full estimator.
+		w, err := stream.NewWatch(m, 50, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+	r := rng.New(14)
+	groups := make([]int, batch)
+	outcomes := make([]int, batch)
+	for i := range groups {
+		groups[i] = r.Intn(space.Size())
+		outcomes[i] = r.Intn(2)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		w := newWatch(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := w.ObserveBatchChecked(groups, outcomes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		w := newWatch(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.ObserveBatch(groups, outcomes); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.CheckFull(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMonitorSnapshot measures the merge-on-snapshot read path of
 // the sharded monitor: folding every shard into one table (into) and
 // the full buffered ε report (epsilon), on a census-scale table after

@@ -414,8 +414,9 @@ func (r *registry) handleObserve(w http.ResponseWriter, req *http.Request) {
 	}
 
 	// The unwatched path is pure sharded ingest: no snapshot merge, no
-	// reporting lock. A watched monitor pays exactly one merge per batch
-	// (the threshold check), whose effective mass the response reuses.
+	// reporting lock. A watched monitor pays one incremental threshold
+	// check per batch — a drain of the cells the batch touched, not a
+	// shard merge — whose effective mass the response reuses.
 	var alert *fairness.Alert
 	var effective *float64
 	var err error
@@ -588,6 +589,10 @@ func (r *registry) handleReport(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Audit's subset ladder (report?subsets=true, the default) comes from
+	// the monitor's incrementally-maintained subset marginals on the
+	// window policies, so its latency is independent of the lattice size
+	// once warm; exponential monitors fall back to the snapshot ladder.
 	report, err := mon.Audit(req.Context(), opts...)
 	if err != nil {
 		switch {

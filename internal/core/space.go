@@ -251,6 +251,21 @@ func (s *Space) Project(group int, sub *Space, positions []int) int {
 	return sub.MustIndex(vals...)
 }
 
+// DropStride returns the index arithmetic for removing the attribute at
+// position pos: a group index g of the receiver maps to group
+// (g/div)*stride + g%stride of the space over the remaining attributes
+// (in their original order). It is the delta-aware counterpart of
+// Marginalize: an incremental maintainer can fold a single changed cell
+// down the subset lattice with two integer divisions instead of
+// re-aggregating a whole table, and the mapping agrees with
+// Project/Marginalize because both enumerate groups in row-major order
+// with the last attribute varying fastest.
+func (s *Space) DropStride(pos int) (div, stride int) {
+	stride = s.strides[pos]
+	div = stride * len(s.attrs[pos].Values)
+	return div, stride
+}
+
 // SubsetNames enumerates every nonempty subset of the attribute names, in
 // order of increasing size and then lexicographically, matching the layout
 // of the paper's Table 2. The full set is included last.

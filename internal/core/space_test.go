@@ -219,3 +219,32 @@ func TestIndexOfValues(t *testing.T) {
 		t.Error("unknown value accepted")
 	}
 }
+
+// TestDropStride pins the single-attribute removal arithmetic against
+// Project: dropping the attribute at position pos via (g/div)*stride +
+// g%stride must land every group on the same marginal index Project
+// computes over the remaining attributes in their original order.
+func TestDropStride(t *testing.T) {
+	s := threeAttrSpace(t)
+	attrs := s.Attrs()
+	for pos := range attrs {
+		var names []string
+		for i, a := range attrs {
+			if i != pos {
+				names = append(names, a.Name)
+			}
+		}
+		sub, positions, err := s.Subset(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		div, stride := s.DropStride(pos)
+		for g := 0; g < s.Size(); g++ {
+			got := g/div*stride + g%stride
+			want := s.Project(g, sub, positions)
+			if got != want {
+				t.Fatalf("pos %d group %d: DropStride arithmetic = %d, Project = %d", pos, g, got, want)
+			}
+		}
+	}
+}

@@ -134,6 +134,10 @@ type engine interface {
 	// snapshotInto overwrites dst with the effective counts as of
 	// ticket now.
 	snapshotInto(dst *core.Counts, now int64) error
+	// enableDirty attaches a dirty-cell log of the given capacity to
+	// every shard, so an incremental consumer (incEngine) can drain the
+	// cells each batch touched instead of re-merging all shards.
+	enableDirty(capacity int)
 }
 
 // shardIndex routes a ticket to a shard with a splitmix64-style finalizer
@@ -177,6 +181,7 @@ type expShard struct {
 	mu     sync.Mutex
 	counts *core.Counts
 	basis  int64 // ticket the stored scale is anchored at
+	log    dirtyLog
 	_      shardPad
 }
 
@@ -221,7 +226,11 @@ func (e *expEngine) ingestOne(t int64, group, outcome int) {
 	if float64(t-s.basis)*e.invH > rebaseLog2 {
 		s.rebase(t-1, e.invH)
 	}
-	s.counts.Cells()[group*e.k+outcome] += math.Exp2(float64(t-s.basis) * e.invH)
+	cell := group*e.k + outcome
+	s.counts.Cells()[cell] += math.Exp2(float64(t-s.basis) * e.invH)
+	if s.log.enabled() {
+		s.log.record(cell, t)
+	}
 	s.mu.Unlock()
 }
 
@@ -229,6 +238,7 @@ func (e *expEngine) ingest(t0 int64, groups, outcomes []int) {
 	s := &e.shards[shardIndex(t0+1, e.mask)]
 	s.mu.Lock()
 	cells := s.counts.Cells()
+	logOn := s.log.enabled()
 	i := 0
 	for i < len(groups) {
 		chunk := len(groups) - i
@@ -241,12 +251,27 @@ func (e *expEngine) ingest(t0 int64, groups, outcomes []int) {
 		}
 		w := math.Exp2(float64(t-s.basis) * e.invH)
 		for j := 0; j < chunk; j++ {
-			cells[groups[i+j]*e.k+outcomes[i+j]] += w
+			cell := groups[i+j]*e.k + outcomes[i+j]
+			cells[cell] += w
 			w *= e.invD
+			if logOn {
+				s.log.record(cell, t+int64(j))
+			}
 		}
 		i += chunk
 	}
 	s.mu.Unlock()
+}
+
+// enableDirty attaches (or re-attaches, after ReadState swaps shard
+// state) a dirty log to every shard.
+func (e *expEngine) enableDirty(capacity int) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		s.log.init(capacity)
+		s.mu.Unlock()
+	}
 }
 
 func (e *expEngine) snapshotInto(dst *core.Counts, now int64) error {
@@ -282,6 +307,7 @@ type winEngine struct {
 type winShard struct {
 	mu   sync.Mutex
 	ring []winBucket // len == win; epoch e lives in slot e % win
+	log  dirtyLog
 	_    shardPad
 }
 
@@ -341,7 +367,11 @@ func (e *winEngine) ingestOne(t int64, group, outcome int) {
 	s := &e.shards[shardIndex(t, e.mask)]
 	s.mu.Lock()
 	if b := s.bucketFor((t - 1) / e.span); b != nil {
-		b.counts.Cells()[group*e.k+outcome]++
+		cell := group*e.k + outcome
+		b.counts.Cells()[cell]++
+		if s.log.enabled() {
+			s.log.record(cell, t)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -349,6 +379,7 @@ func (e *winEngine) ingestOne(t int64, group, outcome int) {
 func (e *winEngine) ingest(t0 int64, groups, outcomes []int) {
 	s := &e.shards[shardIndex(t0+1, e.mask)]
 	s.mu.Lock()
+	logOn := s.log.enabled()
 	i := 0
 	for i < len(groups) {
 		t := t0 + int64(i) + 1
@@ -361,12 +392,27 @@ func (e *winEngine) ingest(t0 int64, groups, outcomes []int) {
 		if b := s.bucketFor(epoch); b != nil {
 			cells := b.counts.Cells()
 			for j := 0; j < run; j++ {
-				cells[groups[i+j]*e.k+outcomes[i+j]]++
+				cell := groups[i+j]*e.k + outcomes[i+j]
+				cells[cell]++
+				if logOn {
+					s.log.record(cell, t+int64(j))
+				}
 			}
 		}
 		i += run
 	}
 	s.mu.Unlock()
+}
+
+// enableDirty attaches (or re-attaches, after ReadState swaps shard
+// state) a dirty log to every shard.
+func (e *winEngine) enableDirty(capacity int) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		s.log.init(capacity)
+		s.mu.Unlock()
+	}
 }
 
 func (e *winEngine) snapshotInto(dst *core.Counts, now int64) error {

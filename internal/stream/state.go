@@ -312,5 +312,17 @@ func (m *Monitor) ReadState(r io.Reader) error {
 	m.eng = eng
 	m.shards = int(shards)
 	m.ticket.Store(int64(ticket))
+
+	// Incremental ε state is derived, never serialized (which is what
+	// keeps this format byte-identical across the incremental engine's
+	// existence): if a consumer is already attached, point it at the
+	// rebuilt engine, re-enable the shard logs, and invalidate it so the
+	// next check rebuilds from the restored authoritative counts.
+	m.incMu.Lock()
+	if m.inc != nil {
+		eng.enableDirty(m.inc.logCap)
+		m.inc.rebind(eng)
+	}
+	m.incMu.Unlock()
 	return nil
 }

@@ -21,6 +21,13 @@
 //     most recent Window observations, evicted in Window/Buckets-sized
 //     bucket increments.
 //
+// Reporting is two-speed. Snapshots and one-off Epsilon calls merge the
+// shards on demand; Watch threshold checks and EpsilonSubsets instead
+// run on an incrementally-maintained aggregate (incremental.go) fed by
+// per-shard dirty-cell logs, so a per-batch check costs O(cells touched
+// since the last check) rather than O(shards × cells) — bit-identical
+// to the full recompute for the integer-count window policies.
+//
 // Concurrency semantics: counts for the window policies are plain sums,
 // so after all writers finish, a snapshot is exactly the single-threaded
 // result regardless of interleaving (up to float summation order). For
@@ -110,6 +117,14 @@ type Monitor struct {
 	repMu sync.Mutex
 	snap  *core.Counts
 	cpt   *core.CPT
+
+	// inc is the lazily-attached incremental ε engine (incremental.go):
+	// Watch checks and EpsilonSubsets drain per-shard dirty-cell logs
+	// into a running aggregate instead of re-merging every shard. incMu
+	// guards the attachment only; inc.mu guards its state (lock order:
+	// incMu → inc.mu → shard mutexes).
+	incMu sync.Mutex
+	inc   *incEngine
 }
 
 // New creates a monitor with the given policy configuration.
@@ -328,6 +343,50 @@ func (m *Monitor) epsilonOfSnapLocked() (core.EpsilonResult, error) {
 	return core.Epsilon(m.cpt)
 }
 
+// ensureInc attaches the incremental ε engine, enabling the per-shard
+// dirty-cell logs. The engine starts invalid, so its first sync rebuilds
+// from the authoritative shard state (covering anything ingested before
+// the logs existed).
+func (m *Monitor) ensureInc() *incEngine {
+	m.incMu.Lock()
+	defer m.incMu.Unlock()
+	if m.inc == nil {
+		m.inc = newIncEngine(m, defaultDirtyLogCap, defaultRebuildEvery)
+		m.eng.enableDirty(m.inc.logCap)
+	}
+	return m.inc
+}
+
+// EpsilonSubsets computes the ε ladder over every nonempty subset of the
+// protected attributes from incrementally-maintained subset marginals:
+// deltas applied to the full aggregate since the last call are folded
+// down the lattice (each subset derived from its one-attribute-larger
+// parent), so a warm call costs O(cells changed × subsets) instead of
+// O(lattice) — report latency independent of the table size. The results
+// are ordered like Space.SubsetNames and, for the integer-count window
+// policies, bit-identical to core.EpsilonSubsetsCounts over a snapshot
+// of the same state. The exponential policy returns
+// ErrIncrementalUnavailable (its smoothed estimator is not invariant
+// under decay's uniform rescale); callers fall back to the snapshot
+// ladder. A subset with fewer than two supported groups returns an error
+// wrapping core.ErrDegenerateSupport.
+func (m *Monitor) EpsilonSubsets() ([]core.SubsetEpsilon, error) {
+	inc := m.ensureInc()
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.exp {
+		return nil, ErrIncrementalUnavailable
+	}
+	if inc.nodes == nil {
+		if err := inc.buildNodes(); err != nil {
+			return nil, err
+		}
+		inc.valid = false // nodes must be seeded by a full rebuild
+	}
+	inc.sync(m.ticket.Load())
+	return inc.ladderLocked()
+}
+
 // Alert describes a threshold crossing.
 type Alert struct {
 	// Epsilon is the estimate that crossed the threshold.
@@ -350,7 +409,10 @@ type Watch struct {
 	MinEffective float64
 }
 
-// NewWatch builds a threshold watch around a monitor.
+// NewWatch builds a threshold watch around a monitor. Building a watch
+// attaches the monitor's incremental ε engine: every check drains the
+// cells ingested since the last one instead of re-merging all shards, so
+// per-batch checked ingest stays within a small factor of unchecked.
 func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
 	if m == nil {
 		return nil, fmt.Errorf("stream: nil monitor")
@@ -361,6 +423,7 @@ func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
 	if minEffective < 0 {
 		return nil, fmt.Errorf("stream: negative minEffective")
 	}
+	m.ensureInc()
 	return &Watch{Monitor: m, Threshold: threshold, MinEffective: minEffective}, nil
 }
 
@@ -394,11 +457,54 @@ func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, er
 // mass of the snapshot it measured.
 func (w *Watch) Check() (*Alert, float64, error) { return w.check() }
 
-// check evaluates the threshold against one fresh snapshot. The
-// MinEffective gate runs on the snapshot total before any estimator
-// work, so a cold-start ObserveChecked loop pays only the shard merge
-// per observation, not the CPT conversion and ε scan.
+// check evaluates the threshold against the incrementally-maintained
+// aggregate: the shards' dirty-cell logs are drained (O(cells touched
+// since the last check)), evictions/decay applied, and ε re-derived from
+// cached per-group rates — only the groups the drain touched are
+// rescanned. The MinEffective gate runs on the incrementally-maintained
+// mass before any estimator work, so a cold-start ObserveChecked loop
+// pays only the tiny drain per observation, never a shard merge or an ε
+// scan. For the integer-count window policies the result is
+// bit-identical to CheckFull; the property suite pins that equivalence.
 func (w *Watch) check() (*Alert, float64, error) {
+	inc := w.ensureInc()
+	now := w.ticket.Load()
+	inc.mu.Lock()
+	inc.sync(now)
+	effective := inc.effectiveAt(now)
+	if effective < w.MinEffective {
+		inc.mu.Unlock()
+		return nil, effective, nil
+	}
+	res, err := inc.epsilonLocked(now)
+	inc.mu.Unlock()
+	if err != nil {
+		// A degenerate table (fewer than two populated groups yet) has no
+		// pairs to compare: no alert, not an error. Anything else is a
+		// real failure and must reach the caller.
+		if errors.Is(err, core.ErrDegenerateSupport) {
+			return nil, effective, nil
+		}
+		return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
+	}
+	if res.Epsilon > w.Threshold {
+		return &Alert{
+			Epsilon:   res.Epsilon,
+			Threshold: w.Threshold,
+			Witness:   res.Witness,
+			SeenAt:    w.Seen(),
+		}, effective, nil
+	}
+	return nil, effective, nil
+}
+
+// CheckFull evaluates the threshold the pre-incremental way: one full
+// shard merge into the reporting snapshot, then a from-scratch estimator
+// conversion and ε scan. It is retained as the authoritative recompute —
+// the oracle the incremental property tests compare against and the
+// baseline BenchmarkWatchObserveBatchChecked measures the incremental
+// path's speedup over. Semantics match Check exactly.
+func (w *Watch) CheckFull() (*Alert, float64, error) {
 	w.repMu.Lock()
 	if err := w.eng.snapshotInto(w.snap, w.ticket.Load()); err != nil {
 		w.repMu.Unlock()
@@ -412,9 +518,6 @@ func (w *Watch) check() (*Alert, float64, error) {
 	res, err := w.epsilonOfSnapLocked()
 	w.repMu.Unlock()
 	if err != nil {
-		// A degenerate table (fewer than two populated groups yet) has no
-		// pairs to compare: no alert, not an error. Anything else is a
-		// real failure and must reach the caller.
 		if errors.Is(err, core.ErrDegenerateSupport) {
 			return nil, effective, nil
 		}

@@ -152,13 +152,20 @@ func (w *Watch) ObserveBatchChecked(groups, outcomes []int) (*Alert, float64, er
 	return w.inner.ObserveBatchChecked(groups, outcomes)
 }
 
-// Check evaluates the threshold against the current snapshot without
+// Check evaluates the threshold against the current state without
 // recording any decision: the on-demand breach probe services use when
 // reporting state outside an observe call (e.g. confirming the ε breach
 // that motivated a repair-plan request). Returns the alert (nil when
 // under threshold or below the minimum effective mass) and the measured
-// effective mass.
+// effective mass. Like every Watch check it runs on the incremental ε
+// engine — O(cells changed since the last check), not O(shards × cells).
 func (w *Watch) Check() (*Alert, float64, error) { return w.inner.Check() }
+
+// CheckFull is Check computed the pre-incremental way, from a full shard
+// merge and a from-scratch ε scan: the authoritative recompute retained
+// for verification and benchmarking. For the integer-count window
+// policies its result is bit-identical to Check.
+func (w *Watch) CheckFull() (*Alert, float64, error) { return w.inner.CheckFull() }
 
 // WriteState serializes the monitor's full engine state — tickets,
 // decay bases, bucket epochs, and cells as raw IEEE-754 bits — so a
@@ -184,6 +191,14 @@ func MonitorShards() int { return stream.DefaultShards() }
 // monitor's smoothing alpha is applied by default; additional options
 // are appended and may override it.
 //
+// When the report includes the subset ladder under the monitor's own
+// estimator (the default), the ladder comes from the monitor's
+// incremental subset marginals — O(cells changed since the last report)
+// for warm window-policy monitors, independent of the lattice size —
+// and is bit-identical to the snapshot recompute it replaces.
+// Exponential-decay monitors, overridden alphas, and WithSubsets(false)
+// fall back to the snapshot ladder.
+//
 // Exponentially-decayed counts are non-integral, so WithBootstrap is not
 // applicable to those snapshots (the bootstrap requires integer counts
 // and will reject it) — use WithCredible there. Tumbling and sliding
@@ -196,6 +211,14 @@ func (m *Monitor) Audit(ctx context.Context, opts ...Option) (*Report, error) {
 	auditor, err := NewAuditor(m.space, m.outcomes, append([]Option{WithAlpha(m.alpha)}, opts...)...)
 	if err != nil {
 		return nil, err
+	}
+	if auditor.cfg.subsets && auditor.cfg.alpha == m.alpha {
+		// Any failure (exponential policy, a degenerate subset, an
+		// oversized lattice) falls back to the snapshot ladder so error
+		// reporting is identical to the pre-incremental path.
+		if ladder, lerr := m.inner.EpsilonSubsets(); lerr == nil {
+			return auditor.runWithLadder(ctx, snap, ladder)
+		}
 	}
 	return auditor.Run(ctx, snap)
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Alloc gate: asserts the //df:hotpath zero-allocation contract at the
 # benchmark layer. Every BenchmarkHotPath* benchmark (one per annotated
-# hot function: core.Epsilon, stream Monitor.ObserveBatch, repair
-# Applier.ApplyBatch, dfserve's binary batch decode) must report
-# exactly 0 allocs/op in -benchmem
+# hot path: core.Epsilon, stream Monitor.ObserveBatch, the stream
+# incremental-ε delta-apply path, repair Applier.ApplyBatch, dfserve's
+# binary batch decode) must report exactly 0 allocs/op in -benchmem
 # output; a single allocation per op on the serving path turns into GC
 # pressure at stream rate. The static half of the same contract is the
 # dfvet hotpath analyzer — this gate catches what escapes analysis
@@ -28,7 +28,7 @@ else
 fi
 
 # Expected hot-path benchmarks; each annotated function has exactly one.
-expected=4
+expected=5
 
 awk -v expected="$expected" '
 /^BenchmarkHotPath/ {

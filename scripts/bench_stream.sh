@@ -14,16 +14,19 @@
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
 #    "allocs_per_op": ...}
 #
-# The acceptance comparison is BenchmarkMonitorObserveParallel:
-# sharded-parallel vs locked-parallel ns/op on a multi-core host
-# (single-core hosts can only show the serial batching win).
+# The acceptance comparisons are BenchmarkMonitorObserveParallel
+# (sharded-parallel vs locked-parallel ns/op on a multi-core host;
+# single-core hosts can only show the serial batching win) and
+# BenchmarkWatchObserveBatchChecked, whose incremental checked-ingest
+# path this script gates at ≥ 5× faster than the retained
+# snapshot-recompute baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_stream.json}"
 input="${2:-}"
 benchtime="${BENCHTIME:-1x}"
-pattern='BenchmarkMonitorObserve|BenchmarkMonitorSnapshot'
+pattern='BenchmarkMonitorObserve|BenchmarkMonitorSnapshot|BenchmarkWatchObserveBatchChecked'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -56,5 +59,26 @@ BEGIN { print "["; first = 1 }
 }
 END { print "\n]" }
 ' "$raw" > "$out"
+
+# Incremental-ε speedup gate: the per-batch checked-ingest check must be
+# at least 5× faster than the retained full-recompute baseline (the
+# PR's acceptance criterion). -benchtime 1x is too noisy to judge a
+# ratio, so the gate re-times the pair at a fixed iteration count.
+go test -run 'xxx' -bench 'BenchmarkWatchObserveBatchChecked' -benchtime "${GATETIME:-2000x}" . |
+awk '
+/^BenchmarkWatchObserveBatchChecked\/incremental/ { inc = $3 }
+/^BenchmarkWatchObserveBatchChecked\/snapshot/    { snap = $3 }
+END {
+  if (inc == "" || snap == "") {
+    print "speedup gate FAILED: benchmark pair missing from output"
+    exit 1
+  }
+  ratio = snap / inc
+  if (ratio < 5) {
+    printf "speedup gate FAILED: snapshot/incremental = %.2fx, want >= 5x (incremental %s ns/op, snapshot %s ns/op)\n", ratio, inc, snap
+    exit 1
+  }
+  printf "speedup gate ok: incremental check %.1fx faster than snapshot recompute\n", ratio
+}'
 
 echo "wrote $out"

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Open-loop rate sweep: boots a real dfserve on loopback and drives it
+# with dfload at a ladder of offered rates, recording achieved
+# throughput and p99 latency at each step as BENCH_sweep.json. The
+# artifact's headline number is the knee: the first offered rate the
+# server fails to track (achieved < 90% of offered), i.e. the serving
+# path's capacity under the benchmark mix. Because dfload schedules
+# sends open-loop, latency above the knee reflects queueing delay
+# honestly instead of being hidden by coordinated omission.
+#
+# Usage:
+#   scripts/bench_sweep.sh [output.json] [workdir]
+#   RATES="1000 4000 16000" REQUESTS=2000 scripts/bench_sweep.sh
+#
+# Each step reuses one long-lived server (state and WAL accumulate
+# across steps, as they would in production), with a fixed synthesis
+# seed so the request streams are identical across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sweep.json}"
+work="${2:-$(mktemp -d)}"
+data="$work/data"
+mkdir -p "$data"
+
+rates="${RATES:-500 1000 2000 4000 8000 16000 32000}"
+requests="${REQUESTS:-3000}"
+
+go build -o "$work/dfserve" ./cmd/dfserve
+go build -o "$work/dfload" ./cmd/dfload
+
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill -9 "$serve_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$work/dfserve" -addr 127.0.0.1:0 -data-dir "$data" -fsync batch 2> "$work/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*listening on //p' "$work/serve.log" | head -1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.05
+done
+[[ -n "$addr" ]] || { echo "bench_sweep: server never listened"; cat "$work/serve.log"; exit 1; }
+base="http://$addr"
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" >/dev/null && break
+  sleep 0.05
+done
+
+# One dfload pass per offered rate; binary observe-heavy mix (the
+# serving path's steady-state shape). Each pass's artifact is reduced to
+# one sweep row: summed achieved rps and the worst per-endpoint p99.
+rows="$work/rows.json"
+: > "$rows"
+for rate in $rates; do
+  step="$work/rate_$rate.json"
+  "$work/dfload" -addr "$base" \
+    -rate "$rate" -requests "$requests" -connections 4 \
+    -monitors 4 -batch 64 -seed 42 \
+    -mix 'observe=0.85,decide=0.1,report=0.05' \
+    -encoding binary -format json -out "$step"
+  awk -v offered="$rate" '
+/"throughput_rps":/ { gsub(/,/, "", $2); achieved += $2 + 0 }
+/"p99_ms":/         { gsub(/,/, "", $2); if ($2 + 0 > p99) p99 = $2 + 0 }
+END {
+  printf "  {\"offered_rps\": %s, \"achieved_rps\": %.1f, \"p99_ms\": %.3f}\n",
+    offered, achieved, p99
+}' "$step" >> "$rows"
+done
+
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+# Assemble the artifact and locate the knee: the first offered rate
+# whose achieved throughput falls below 90% of offered. A sweep that
+# never saturates reports knee_rps null (raise RATES to find it).
+awk '
+BEGIN { print "{"; print "  \"steps\": [" }
+{
+  offered = $2 + 0; achieved = $4 + 0
+  if (knee == "" && achieved < 0.9 * offered) knee = offered
+  rows[++n] = $0
+}
+END {
+  for (i = 1; i <= n; i++) printf "  %s%s\n", rows[i], (i < n ? "," : "")
+  print "  ],"
+  if (knee == "") print "  \"knee_rps\": null"
+  else printf "  \"knee_rps\": %s\n", knee
+  print "}"
+}' "$rows" > "$out"
+
+echo "wrote $out"
+awk '/"knee_rps":/ { print "sweep knee:", $2 }' "$out"
