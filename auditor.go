@@ -28,6 +28,7 @@ type auditConfig struct {
 	seed           uint64
 	workers        int
 	eqOdds         *core.LabeledCounts
+	metrics        []core.Metric
 }
 
 // Option configures an Auditor. Options are applied in order by
@@ -267,6 +268,11 @@ func NewAuditor(space *Space, outcomes []string, opts ...Option) (*Auditor, erro
 			return nil, fmt.Errorf("fairness: WithEqualizedOdds: labeled counts do not match the auditor's space/outcomes")
 		}
 	}
+	for _, m := range cfg.metrics {
+		if err := m.Applicable(space, outcomes); err != nil {
+			return nil, fmt.Errorf("fairness: metric %s: %w", m.Key(), err)
+		}
+	}
 	return &Auditor{
 		space:    space,
 		outcomes: append([]string(nil), outcomes...),
@@ -289,7 +295,7 @@ func MustAuditor(space *Space, outcomes []string, opts ...Option) *Auditor {
 // engines, so canceling it makes an in-flight Run return promptly with
 // ctx.Err(). Callers without a deadline pass context.Background().
 func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
-	return a.run(ctx, counts, nil)
+	return a.run(ctx, counts, nil, "", "")
 }
 
 // runWithLadder is Run with a precomputed subset-ε ladder, as maintained
@@ -298,12 +304,21 @@ func (a *Auditor) Run(ctx context.Context, counts *Counts) (*Report, error) {
 // with the lattice), and everything else — the full-space ε, intervals,
 // reversals, repair — still derives from counts. The ladder must have
 // been measured over the same counts and estimator alpha; Monitor.Audit
-// guarantees that before calling.
+// guarantees that before calling. The report records
+// LadderSourceIncremental.
 func (a *Auditor) runWithLadder(ctx context.Context, counts *Counts, ladder []core.SubsetEpsilon) (*Report, error) {
-	return a.run(ctx, counts, ladder)
+	return a.run(ctx, counts, ladder, LadderSourceIncremental, "")
 }
 
-func (a *Auditor) run(ctx context.Context, counts *Counts, ladder []core.SubsetEpsilon) (*Report, error) {
+// runSnapshotLadder is Run with the ladder recomputed from the counts
+// snapshot, recording LadderSourceSnapshot and — when the incremental
+// path was attempted and failed — the reason for the fallback, so a
+// degraded ladder path is visible in the report instead of silent.
+func (a *Auditor) runSnapshotLadder(ctx context.Context, counts *Counts, fallbackReason string) (*Report, error) {
+	return a.run(ctx, counts, nil, LadderSourceSnapshot, fallbackReason)
+}
+
+func (a *Auditor) run(ctx context.Context, counts *Counts, ladder []core.SubsetEpsilon, ladderSource, ladderFallback string) (*Report, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("fairness: Auditor.Run: nil ctx (pass context.Background() if no deadline applies)")
 	}
@@ -334,10 +349,12 @@ func (a *Auditor) run(ctx context.Context, counts *Counts, ladder []core.SubsetE
 	space := counts.Space()
 
 	rep := &Report{
-		SchemaVersion: ReportSchemaVersion,
-		Estimator:     estimator,
-		Alpha:         JSONFloat(cfg.alpha),
-		Observations:  JSONFloat(counts.Total()),
+		SchemaVersion:        ReportSchemaVersion,
+		Estimator:            estimator,
+		Alpha:                JSONFloat(cfg.alpha),
+		Observations:         JSONFloat(counts.Total()),
+		LadderSource:         ladderSource,
+		LadderFallbackReason: ladderFallback,
 	}
 
 	fullCPT, err := toCPT(counts)
@@ -431,6 +448,86 @@ func (a *Auditor) run(ctx context.Context, counts *Counts, ladder []core.SubsetE
 			Hi:         JSONFloat(post.Hi),
 			Sup:        JSONFloat(post.Sup),
 		}
+	}
+
+	// Each requested metric gets the full ε treatment: value + witness on
+	// the full intersection, the subset ladder (lattice-shared marginals),
+	// and whatever uncertainty the options request. Every metric's engine
+	// is seeded with the same cfg.seed, so all metrics are measured over
+	// exactly the same resampled tables / posterior draws as ε.
+	for _, m := range cfg.metrics {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := m.Eval(fullCPT)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: metric %s: %w", m.Key(), err)
+		}
+		mr := MetricReport{
+			Key:           m.Key(),
+			Description:   m.Describe(),
+			HigherIsWorse: m.HigherIsWorse(),
+			Value:         JSONFloat(res.Value),
+			Finite:        res.Finite,
+			Witness:       witnessLabels(space, outcomes, res.Witness),
+		}
+		if cfg.subsets {
+			subs, err := core.MetricSubsetsCounts(m, counts, cfg.alpha)
+			if err != nil {
+				return nil, fmt.Errorf("fairness: metric %s: %w", m.Key(), err)
+			}
+			core.SortSubsetsByMetricValue(m, subs)
+			for _, s := range subs {
+				mr.Ladder = append(mr.Ladder, MetricLadderRow{
+					Attrs:   s.Attrs,
+					Value:   JSONFloat(s.Result.Value),
+					Finite:  s.Result.Finite,
+					Witness: witnessLabels(s.Space, outcomes, s.Result.Witness),
+				})
+			}
+		}
+		if cfg.bootstrapB > 0 {
+			iv, err := resample.MetricBootstrap(ctx, m, counts, cfg.alpha,
+				cfg.bootstrapB, cfg.bootstrapLevel, rng.New(cfg.seed), cfg.workers)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("fairness: metric %s bootstrap: %w", m.Key(), err)
+			}
+			mr.Bootstrap = &BootstrapReport{
+				Replicates:    cfg.bootstrapB,
+				Level:         JSONFloat(iv.Level),
+				Lo:            JSONFloat(iv.Lo),
+				Hi:            JSONFloat(iv.Hi),
+				InfiniteShare: JSONFloat(iv.InfiniteShare),
+			}
+		}
+		if cfg.credibleB > 0 {
+			model, err := bayes.NewDirichletMultinomial(counts, cfg.credibleAlpha)
+			if err != nil {
+				return nil, fmt.Errorf("fairness: metric %s credible: %w", m.Key(), err)
+			}
+			post, err := model.MetricCredible(ctx, m, cfg.credibleB,
+				cfg.credibleLevel, rng.New(cfg.seed), cfg.workers)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("fairness: metric %s credible: %w", m.Key(), err)
+			}
+			mr.Credible = &CredibleReport{
+				Samples:    cfg.credibleB,
+				PriorAlpha: JSONFloat(cfg.credibleAlpha),
+				Level:      JSONFloat(post.Level),
+				Mean:       JSONFloat(post.Mean),
+				Median:     JSONFloat(post.Median),
+				Lo:         JSONFloat(post.Lo),
+				Hi:         JSONFloat(post.Hi),
+				Sup:        JSONFloat(post.Sup),
+			}
+		}
+		rep.Metrics = append(rep.Metrics, mr)
 	}
 
 	if cfg.simpson && space.NumAttrs() == 2 {

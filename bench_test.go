@@ -806,6 +806,42 @@ func BenchmarkAuditor(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricAudit measures the marginal cost of each pluggable
+// metric on the census-scale audit: the baseline ladder-only audit plus
+// one metric section (value, witness and subset ladder) per registry
+// key. scripts/bench_metrics.sh tracks this as BENCH_metrics.json
+// across PRs.
+func BenchmarkMetricAudit(b *testing.B) {
+	train, _, err := census.Generate(census.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := census.IncomeCounts(census.Space(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, key := range fairness.MetricKeys() {
+		b.Run(key, func(b *testing.B) {
+			auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(),
+				fairness.WithMetrics(key), fairness.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := auditor.Run(context.Background(), counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Metrics) != 1 {
+					b.Fatal("metric section missing")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkReportRenderJSON isolates the serialization cost of the
 // stable JSON schema from the analysis itself.
 func BenchmarkReportRenderJSON(b *testing.B) {

@@ -10,6 +10,7 @@
 //	dfaudit -data people.csv -protected gender,race -outcome income
 //	dfaudit -dataset admissions -bootstrap 500 -repair 0.5
 //	dfaudit -dataset admissions -credible 500 -format json
+//	dfaudit -dataset admissions -metrics worst_gap,worst_ratio,alpha_if
 //	censusgen | dfaudit -data /dev/stdin -protected gender,race,nationality -outcome income -alpha 1
 //
 // -format json emits the versioned JSON report schema (see
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	repairTo := fs.Float64("repair", 0, "propose a repair to this target eps (binary outcomes; 0 = off)")
 	seed := fs.Uint64("seed", 1, "resampling seed")
 	simpson := fs.Bool("simpson", true, "scan two-attribute tables for Simpson reversals")
+	metrics := fs.String("metrics", "", "comma-separated additional fairness metrics (e.g. worst_gap,worst_ratio,alpha_if); see fairness.MetricKeys")
 	format := fs.String("format", "text", "report format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +123,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *repairTo > 0 {
 		opts = append(opts, fairness.WithRepairTarget(*repairTo))
+	}
+	if *metrics != "" {
+		opts = append(opts, fairness.WithMetrics(strings.Split(*metrics, ",")...))
 	}
 	auditor, err := fairness.NewAuditor(counts.Space(), counts.Outcomes(), opts...)
 	if err != nil {

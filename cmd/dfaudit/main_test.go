@@ -101,19 +101,29 @@ var goldenArgs = []string{
 	"-seed", "1",
 }
 
+// goldenMetricsArgs adds the multi-metric selector: the same audit with
+// three additional metric sections (value, ladder, bootstrap, credible
+// per metric). cmd/dfserve's tests POST the equivalent request and
+// require its response to be byte-identical to admissions_metrics.json.
+var goldenMetricsArgs = append(append([]string{}, goldenArgs...),
+	"-metrics", "worst_gap,worst_ratio,alpha_if")
+
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestGoldenReports(t *testing.T) {
 	for _, tc := range []struct {
 		format string
 		file   string
+		args   []string
 	}{
-		{"text", "admissions.txt"},
-		{"json", "admissions.json"},
+		{"text", "admissions.txt", goldenArgs},
+		{"json", "admissions.json", goldenArgs},
+		{"text", "admissions_metrics.txt", goldenMetricsArgs},
+		{"json", "admissions_metrics.json", goldenMetricsArgs},
 	} {
-		t.Run(tc.format, func(t *testing.T) {
+		t.Run(tc.file, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(append(goldenArgs, "-format", tc.format), &buf); err != nil {
+			if err := run(append(append([]string{}, tc.args...), "-format", tc.format), &buf); err != nil {
 				t.Fatal(err)
 			}
 			path := filepath.Join("testdata", tc.file)
@@ -143,7 +153,7 @@ func TestGoldenJSONIsStableSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		t.Fatal(err)
 	}
-	if int(m["schema_version"].(float64)) != 1 {
+	if int(m["schema_version"].(float64)) != 2 {
 		t.Errorf("schema_version = %v", m["schema_version"])
 	}
 	for _, key := range []string{"ladder", "bootstrap", "credible", "repair", "witness"} {

@@ -303,6 +303,9 @@ type auditOptions struct {
 	Credible     *credibleSpec  `json:"credible,omitempty"`
 	RepairTarget float64        `json:"repair_target"`
 	Seed         *uint64        `json:"seed,omitempty"`
+	// Metrics selects additional fairness metrics by registry key
+	// (fairness.MetricKeys); each gets its own report section.
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 type bootstrapSpec struct {
@@ -475,6 +478,9 @@ func (o *auditOptions) toOptions(workers int) []fairness.Option {
 	}
 	if o.RepairTarget != 0 {
 		opts = append(opts, fairness.WithRepairTarget(o.RepairTarget))
+	}
+	if len(o.Metrics) > 0 {
+		opts = append(opts, fairness.WithMetrics(o.Metrics...))
 	}
 	return opts
 }

@@ -30,8 +30,8 @@ func testServer(t *testing.T) *httptest.Server {
 
 // admissionsRequest mirrors cmd/dfaudit's golden audit (-dataset
 // admissions -bootstrap 100 -credible 100 -repair 0.5 -seed 1) as a
-// counts-form service request.
-func admissionsRequest(t *testing.T) []byte {
+// counts-form service request; optional metric keys mirror -metrics.
+func admissionsRequest(t *testing.T, metricKeys ...string) []byte {
 	t.Helper()
 	counts := datasets.Admissions()
 	space := counts.Space()
@@ -59,6 +59,7 @@ func admissionsRequest(t *testing.T) []byte {
 			Credible:     &credibleSpec{Samples: 100, PriorAlpha: &prior, Level: &level},
 			RepairTarget: 0.5,
 			Seed:         &seed,
+			Metrics:      metricKeys,
 		},
 	})
 	if err != nil {
@@ -667,7 +668,7 @@ func TestMonitorReportAndAlert(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep["schema_version"].(float64) != 1 || rep["observations"].(float64) != 200 {
+	if rep["schema_version"].(float64) != 2 || rep["observations"].(float64) != 200 {
 		t.Fatalf("report = %s", b)
 	}
 	if rep["bootstrap"] == nil {
@@ -691,6 +692,137 @@ func boolToInt(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// TestAuditMetricsRoundTripMatchesDfauditGolden: the multi-metric
+// service audit must be byte-identical to cmd/dfaudit -metrics for the
+// same inputs, options and seed.
+func TestAuditMetricsRoundTripMatchesDfauditGolden(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/audit", "application/json",
+		bytes.NewReader(admissionsRequest(t, "worst_gap", "worst_ratio", "alpha_if")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "dfaudit", "testdata", "admissions_metrics.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/dfaudit -update)", err)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("service multi-metric JSON diverged from dfaudit golden:\n%s", body)
+	}
+}
+
+// TestMonitorMetricAlertAndSelector: per-metric thresholds arm alerting
+// without an ε threshold, the alert names the breaching metric, and
+// report?metrics= selects additional report sections.
+func TestMonitorMetricAlertAndSelector(t *testing.T) {
+	srv := testServer(t)
+	resp := putMonitor(t, srv, "ratio", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "window": {"size": 100000}, "min_effective": 10,
+		"metrics": [{"key": "worst_ratio", "threshold": 0.8}]}`)
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put status = %d: %s", resp.StatusCode, b)
+	}
+	var stats struct {
+		Metrics []struct {
+			Key       string  `json:"key"`
+			Threshold float64 `json:"threshold"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Metrics) != 1 || stats.Metrics[0].Key != "worst_ratio" || stats.Metrics[0].Threshold != 0.8 {
+		t.Fatalf("stats did not echo the metric thresholds: %s", b)
+	}
+
+	// An unknown metric key is rejected at PUT time.
+	resp = putMonitor(t, srv, "bad", `{"space": [{"name": "g", "values": ["a", "b"]}],
+		"outcomes": ["deny", "approve"], "window": {"size": 100000},
+		"metrics": [{"key": "bogus", "threshold": 1}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown metric key: put status = %d, want 400", resp.StatusCode)
+	}
+
+	// a approved 3/4 of the time, b 1/4: ratio 1/3, far below 0.8.
+	var groups, outcomes []int
+	for i := 0; i < 200; i++ {
+		groups = append(groups, i%2)
+		if i%2 == 0 {
+			outcomes = append(outcomes, boolToInt(i%8 != 0))
+		} else {
+			outcomes = append(outcomes, boolToInt(i%8 == 1))
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"groups": groups, "outcomes": outcomes})
+	resp2, err := http.Post(srv.URL+"/v1/monitors/ratio/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("observe status = %d: %s", resp2.StatusCode, b)
+	}
+	var or struct {
+		Alert *struct {
+			Metric    string  `json:"metric"`
+			Epsilon   float64 `json:"epsilon"`
+			Threshold float64 `json:"threshold"`
+		} `json:"alert"`
+	}
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Alert == nil {
+		t.Fatalf("no metric alert on a biased stream: %s", b)
+	}
+	if or.Alert.Metric != "worst_ratio" || or.Alert.Threshold != 0.8 || or.Alert.Epsilon >= 0.8 {
+		t.Fatalf("alert = %+v, want worst_ratio below 0.8", or.Alert)
+	}
+
+	// metrics= adds per-metric report sections.
+	resp3, err := http.Get(srv.URL + "/v1/monitors/ratio/report?metrics=worst_gap,alpha_if")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d: %s", resp3.StatusCode, b)
+	}
+	var rep struct {
+		Metrics []struct {
+			Key string `json:"key"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metrics) != 2 || rep.Metrics[0].Key != "worst_gap" || rep.Metrics[1].Key != "alpha_if" {
+		t.Fatalf("report metrics sections = %s", b)
+	}
+	// An unknown selector key is a client error.
+	resp4, err := http.Get(srv.URL + "/v1/monitors/ratio/report?metrics=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("metrics=bogus status = %d, want 400", resp4.StatusCode)
+	}
 }
 
 // TestMonitorObserveRaceStress is the registry's concurrency acceptance

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -51,7 +52,7 @@ type monitorEntry struct {
 	id    string
 	cfg   monitorSpec
 	mon   *fairness.Monitor
-	watch *fairness.Watch // non-nil iff cfg.Threshold > 0
+	watch *fairness.Watch // non-nil iff the spec arms alerting (threshold or metrics)
 
 	// live is the currently-installed repair plan applied by
 	// POST .../decide; nil until POST .../repair installs one. Replacing
@@ -89,6 +90,17 @@ type monitorSpec struct {
 	// mass has accumulated).
 	Threshold    float64 `json:"threshold,omitempty"`
 	MinEffective float64 `json:"min_effective,omitempty"`
+	// Metrics arms additional per-metric alerting: each entry pairs a
+	// registry key (fairness.MetricKeys) with its own limit, breached on
+	// the metric's unfair side. Threshold may be omitted when metrics
+	// are configured, disabling the ε check.
+	Metrics []metricThresholdSpec `json:"metrics,omitempty"`
+}
+
+// metricThresholdSpec is one per-metric alert limit in a monitorSpec.
+type metricThresholdSpec struct {
+	Key       string  `json:"key"`
+	Threshold float64 `json:"threshold"`
 }
 
 type windowSpec struct {
@@ -152,8 +164,16 @@ func (s *monitorSpec) build(maxCells int) (*fairness.Monitor, *fairness.Watch, e
 		return nil, nil, err
 	}
 	var watch *fairness.Watch
-	if s.Threshold != 0 || s.MinEffective != 0 {
-		watch, err = fairness.NewWatch(mon, s.Threshold, s.MinEffective)
+	if s.Threshold != 0 || s.MinEffective != 0 || len(s.Metrics) > 0 {
+		thresholds := make([]fairness.MetricThreshold, len(s.Metrics))
+		for i, mt := range s.Metrics {
+			m, err := fairness.MetricByKey(mt.Key)
+			if err != nil {
+				return nil, nil, fmt.Errorf("metrics[%d]: %w", i, err)
+			}
+			thresholds[i] = fairness.MetricThreshold{Metric: m, Threshold: mt.Threshold}
+		}
+		watch, err = fairness.NewWatch(mon, s.Threshold, s.MinEffective, thresholds...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -303,13 +323,15 @@ func (r *registry) handleList(w http.ResponseWriter, req *http.Request) {
 
 // monitorStats is the listing/GET view of one monitor.
 type monitorStats struct {
-	ID             string  `json:"id"`
-	Policy         string  `json:"policy"`
-	Alpha          float64 `json:"alpha"`
-	Threshold      float64 `json:"threshold,omitempty"`
-	MinEffective   float64 `json:"min_effective,omitempty"`
-	Seen           int     `json:"seen"`
-	EffectiveCount float64 `json:"effective_count"`
+	ID           string  `json:"id"`
+	Policy       string  `json:"policy"`
+	Alpha        float64 `json:"alpha"`
+	Threshold    float64 `json:"threshold,omitempty"`
+	MinEffective float64 `json:"min_effective,omitempty"`
+	// Metrics echoes the per-metric alert limits armed on this monitor.
+	Metrics        []metricThresholdSpec `json:"metrics,omitempty"`
+	Seen           int                   `json:"seen"`
+	EffectiveCount float64               `json:"effective_count"`
 	// PlanVersion is the installed repair plan's version (0 = none);
 	// ServedSeen counts decisions recorded on the served (post-repair)
 	// stream.
@@ -324,6 +346,7 @@ func (e *monitorEntry) stats() monitorStats {
 		Alpha:          e.cfg.Alpha,
 		Threshold:      e.cfg.Threshold,
 		MinEffective:   e.cfg.MinEffective,
+		Metrics:        e.cfg.Metrics,
 		Seen:           e.mon.Seen(),
 		EffectiveCount: e.mon.EffectiveCount(),
 	}
@@ -361,7 +384,10 @@ type observeResponse struct {
 // alertReport encodes ε with the report schema's JSONFloat convention:
 // an all-or-nothing disparity measures ε = +Inf (still very much above
 // any threshold) and must serialize as "inf", not break the response.
+// Metric names the registry key when a per-metric threshold fired (the
+// value is then that metric's, not ε); it is empty for the ε check.
 type alertReport struct {
+	Metric       string             `json:"metric,omitempty"`
 	Epsilon      fairness.JSONFloat `json:"epsilon"`
 	Threshold    float64            `json:"threshold"`
 	Outcome      string             `json:"outcome"`
@@ -500,6 +526,7 @@ func (e *monitorEntry) alertReport(alert *fairness.Alert) *alertReport {
 	}
 	space := e.mon.Space()
 	return &alertReport{
+		Metric:       alert.Metric,
 		Epsilon:      fairness.JSONFloat(alert.Epsilon),
 		Threshold:    alert.Threshold,
 		Outcome:      e.cfg.Outcomes[alert.Witness.Outcome],
@@ -552,8 +579,10 @@ func (e *monitorEntry) encode(body *observeRequest) ([]int, []int, error) {
 // over it, returning the same versioned Report as POST /v1/audit. Query
 // parameters request optional sections: bootstrap=N (window policies
 // only — exponential snapshots are non-integral), credible=N,
-// prior_alpha, level, seed, subsets=false. stream=served audits the
-// post-repair served stream instead of the raw proposed decisions.
+// prior_alpha, level, seed, subsets=false, and metrics=k1,k2 for
+// additional per-metric sections (fairness.MetricKeys). stream=served
+// audits the post-repair served stream instead of the raw proposed
+// decisions.
 func (r *registry) handleReport(w http.ResponseWriter, req *http.Request) {
 	e, ok := r.lookup(req.PathValue("id"))
 	if !ok {
@@ -665,6 +694,9 @@ func reportOptions(req *http.Request, cfg serverConfig) ([]fairness.Option, erro
 			return nil, fmt.Errorf("subsets: %w", err)
 		}
 		opts = append(opts, fairness.WithSubsets(v))
+	}
+	if s := q.Get("metrics"); s != "" {
+		opts = append(opts, fairness.WithMetrics(strings.Split(s, ",")...))
 	}
 	return opts, nil
 }

@@ -32,7 +32,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	watch, err := fairness.NewWatch(monitor, 1.0, 1000)
+	// The watch arms two independent checks: the paper's ε against 1.0,
+	// and the Ghosh et al. worst-case pairwise ratio (the "80% rule"
+	// generalized to every intersectional pair) against 0.8 — a metric
+	// where LOWER is worse, so the breach direction comes from the
+	// metric, not a hard-coded comparison.
+	worstRatio, err := fairness.MetricByKey("worst_ratio")
+	if err != nil {
+		log.Fatal(err)
+	}
+	watch, err := fairness.NewWatch(monitor, 1.0, 1000,
+		fairness.MetricThreshold{Metric: worstRatio, Threshold: 0.8})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,8 +116,18 @@ func main() {
 		if alert == nil {
 			continue
 		}
-		fmt.Printf("  ALERT after %d post-deploy decisions: eps = %.3f > %.1f\n",
-			(i+1)*50, alert.Epsilon, alert.Threshold)
+		// Alert.Metric names the check that tripped: empty for the ε
+		// threshold, a registry key for a metric threshold (Epsilon then
+		// holds that metric's value). The direction-aware worst_ratio
+		// check fires first here: the ratio sinks below 0.8 while the
+		// long fair history still holds the decayed ε under 1.0.
+		if alert.Metric != "" {
+			fmt.Printf("  ALERT after %d post-deploy decisions: %s = %.3f breached %.1f\n",
+				(i+1)*50, alert.Metric, alert.Epsilon, alert.Threshold)
+		} else {
+			fmt.Printf("  ALERT after %d post-deploy decisions: eps = %.3f > %.1f\n",
+				(i+1)*50, alert.Epsilon, alert.Threshold)
+		}
 		fmt.Printf("  witness: %q favors %s over %s\n",
 			outcomes[alert.Witness.Outcome],
 			space.Label(alert.Witness.GroupHi),
@@ -131,9 +151,12 @@ func main() {
 		// Snapshot the live monitor into a full audit report — the same
 		// versioned JSON a watchdog would pull from dfserve's
 		// GET /v1/monitors/{id}/report.
+		// WithMetrics adds per-metric sections — value, witness, subset
+		// ladder and the same posterior uncertainty — next to ε.
 		fmt.Println("\nsnapshot audit of the decayed table (posterior uncertainty):")
 		report, err := monitor.Audit(context.Background(),
-			fairness.WithCredible(500, 1, 0.95))
+			fairness.WithCredible(500, 1, 0.95),
+			fairness.WithMetrics("worst_gap", "worst_ratio", "alpha_if"))
 		if err != nil {
 			log.Fatal(err)
 		}

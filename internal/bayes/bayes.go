@@ -162,6 +162,18 @@ type EpsilonPosterior struct {
 // claiming samples and the call returns ctx.Err() promptly instead of a
 // summary.
 func (m *DirichletMultinomial) EpsilonCredible(ctx context.Context, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
+	return m.MetricCredible(ctx, core.DFEpsilon, n, level, r, workers)
+}
+
+// MetricCredible is EpsilonCredible generalized to any core.Metric: the
+// same pooled-buffer posterior sampler and RNG substream discipline,
+// with the metric's Eval replacing ε on each sampled θ. Sup is the
+// most-unfair value over the samples under the metric's orientation —
+// the framework reading of Definition 3.1 generalized (for ε it equals
+// the supremum, reproducing EpsilonCredible bit for bit). Every metric
+// summarized with an identically-seeded RNG sees exactly the same
+// posterior draws.
+func (m *DirichletMultinomial) MetricCredible(ctx context.Context, metric core.Metric, n int, level float64, r *rng.RNG, workers int) (EpsilonPosterior, error) {
 	if !(level > 0 && level < 1) {
 		return EpsilonPosterior{}, fmt.Errorf("bayes: credible level %v outside (0,1)", level)
 	}
@@ -191,11 +203,11 @@ func (m *DirichletMultinomial) EpsilonCredible(ctx context.Context, n int, level
 		if err := sampleInto(s.cpt, s.rng, s.probs, alphaPost, groupTotals); err != nil {
 			return err
 		}
-		res, err := core.Epsilon(s.cpt)
+		res, err := metric.Eval(s.cpt)
 		if err != nil {
 			return err
 		}
-		eps[i] = res.Epsilon
+		eps[i] = res.Value
 		return nil
 	})
 	if err != nil {
@@ -205,10 +217,11 @@ func (m *DirichletMultinomial) EpsilonCredible(ctx context.Context, n int, level
 		return EpsilonPosterior{}, err
 	}
 
-	var sum, sup float64
+	sum := 0.0
+	sup := eps[0]
 	for _, e := range eps {
 		sum += e
-		if e > sup {
+		if core.MetricWorse(metric, e, sup) {
 			sup = e
 		}
 	}

@@ -178,21 +178,57 @@ func EpsilonSubsetsCPT(c *CPT) ([]SubsetEpsilon, error) {
 // the *parent* table size rather than 2^p × the full table size.
 func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
 	space := c.Space()
+	marg, err := latticeMarginals(c)
+	if err != nil {
+		return nil, err
+	}
+	var out []SubsetEpsilon
+	for _, names := range space.SubsetNames() {
+		mask, err := subsetMask(space, names)
+		if err != nil {
+			return nil, err
+		}
+		m := marg[mask]
+		cpt, err := marginalCPT(m, alpha)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Epsilon(cpt)
+		if err != nil {
+			return nil, fmt.Errorf("core: subset %v: %w", names, err)
+		}
+		out = append(out, SubsetEpsilon{Attrs: names, Result: r, Space: m.Space()})
+	}
+	return out, nil
+}
+
+// subsetMask encodes an attribute-name subset as a bitmask over the
+// space's attribute positions.
+func subsetMask(space *Space, names []string) (int, error) {
+	mask := 0
+	for _, n := range names {
+		i, ok := space.AttrIndex(n)
+		if !ok {
+			return 0, fmt.Errorf("core: unknown attribute %q", n)
+		}
+		mask |= 1 << i
+	}
+	return mask, nil
+}
+
+// latticeMarginals builds the counts marginal for every nonempty
+// attribute-subset mask, sharing work along the subset lattice: each
+// subset's counts are derived by dropping a single attribute from an
+// already-computed parent marginal (one attribute larger) instead of
+// re-aggregating the full table, so the total work is Σ over subsets of
+// the *parent* table size rather than 2^p × the full table size. The
+// returned slice is indexed by mask; marg[fullMask] is c itself.
+func latticeMarginals(c *Counts) ([]*Counts, error) {
+	space := c.Space()
 	p := space.NumAttrs()
 	attrs := space.Attrs()
 	fullMask := 1<<p - 1
 
-	maskOf := func(names []string) (int, error) {
-		mask := 0
-		for _, n := range names {
-			i, ok := space.AttrIndex(n)
-			if !ok {
-				return 0, fmt.Errorf("core: unknown attribute %q", n)
-			}
-			mask |= 1 << i
-		}
-		return mask, nil
-	}
 	namesOf := func(mask int) []string {
 		var names []string
 		for i := 0; i < p; i++ {
@@ -224,30 +260,7 @@ func EpsilonSubsetsCounts(c *Counts, alpha float64) ([]SubsetEpsilon, error) {
 			marg[mask] = m
 		}
 	}
-
-	var out []SubsetEpsilon
-	for _, names := range space.SubsetNames() {
-		mask, err := maskOf(names)
-		if err != nil {
-			return nil, err
-		}
-		m := marg[mask]
-		var cpt *CPT
-		if alpha > 0 {
-			cpt, err = m.Smoothed(alpha, false)
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			cpt = m.Empirical()
-		}
-		r, err := Epsilon(cpt)
-		if err != nil {
-			return nil, fmt.Errorf("core: subset %v: %w", names, err)
-		}
-		out = append(out, SubsetEpsilon{Attrs: names, Result: r, Space: m.Space()})
-	}
-	return out, nil
+	return marg, nil
 }
 
 // SortSubsetsByEpsilon orders subset results by increasing ε, the

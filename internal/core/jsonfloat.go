@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// JSONFloat is a float64 whose JSON form survives the non-finite values
+// fairness analysis legitimately produces (a zero probability against a
+// positive one yields ε = +Inf). Finite values marshal as plain JSON
+// numbers; +Inf, -Inf and NaN marshal as the strings "inf", "-inf" and
+// "nan", and unmarshal back from either form. The root package aliases
+// it as fairness.JSONFloat; it lives here so internal schema types
+// (fairmetrics, loadgen) can share the convention without importing the
+// public package.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a JSON number or
+// one of the sentinel strings "inf", "-inf", "nan".
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	switch s {
+	case `"inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	case `"nan"`:
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("fairness: invalid JSONFloat %s", s)
+	}
+	*f = JSONFloat(v)
+	return nil
+}

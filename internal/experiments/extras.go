@@ -381,17 +381,21 @@ func MetricComparison(cfg census.Config, logistic classify.LogisticConfig) (Metr
 
 // String renders the comparison.
 func (r MetricComparisonResult) String() string {
+	calibration := "not measured (no scores)"
+	if r.Report.GroupCalibrationGap != nil {
+		calibration = f3(float64(*r.Report.GroupCalibrationGap))
+	}
 	return interpretEpsilon(r.Epsilon) + "\n" + renderTable(
 		"Comparison: DF vs related fairness definitions (census classifier, no protected features)",
 		[]string{"definition", "value"},
 		[][]string{
 			{"differential fairness eps (this paper)", f3(r.Epsilon)},
-			{"demographic parity gap (Dwork et al.)", f3(r.Report.DemographicParityGap)},
-			{"disparate impact ratio (80% rule)", f3(r.Report.DisparateImpactRatio)},
-			{"equalized odds gap (Hardt et al.)", f3(r.Report.EqualizedOddsGap)},
-			{"equal opportunity gap (Hardt et al.)", f3(r.Report.EqualOpportunityGap)},
-			{"subgroup fairness violation (Kearns et al.)", f3(r.Report.SubgroupFairnessViolation)},
-			{"group calibration gap (multicalibration)", f3(r.Report.GroupCalibrationGap)},
+			{"demographic parity gap (Dwork et al.)", f3(float64(r.Report.DemographicParityGap))},
+			{"disparate impact ratio (80% rule)", f3(float64(r.Report.DisparateImpactRatio))},
+			{"equalized odds gap (Hardt et al.)", f3(float64(r.Report.EqualizedOddsGap))},
+			{"equal opportunity gap (Hardt et al.)", f3(float64(r.Report.EqualOpportunityGap))},
+			{"subgroup fairness violation (Kearns et al.)", f3(float64(r.Report.SubgroupFairnessViolation))},
+			{"group calibration gap (multicalibration)", calibration},
 		})
 }
 

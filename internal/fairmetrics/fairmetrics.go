@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/classify"
+	"repro/internal/core"
 )
 
 // groupTallies accumulates per-group prediction/label statistics.
@@ -251,42 +252,67 @@ func GroupCalibrationGap(groups []int, numGroups int, yTrue []int, scores []floa
 }
 
 // Report gathers every baseline metric for one set of predictions, for
-// side-by-side comparison with the DF ε in the experiment harness.
+// side-by-side comparison with the DF ε in the experiment harness. It is
+// a JSON schema type: fields use core.JSONFloat (enforced by the dfvet
+// jsonfloat analyzer) so legitimately non-finite values survive
+// encoding, and GroupCalibrationGap uses explicit presence semantics —
+// the field is nil/omitted when no scores were supplied, never a NaN
+// sentinel (encoding/json errors on bare NaN, which would poison any
+// report embedding this type).
 type Report struct {
-	DemographicParityGap      float64
-	DisparateImpactRatio      float64
-	EqualizedOddsGap          float64
-	EqualOpportunityGap       float64
-	SubgroupFairnessViolation float64
-	GroupCalibrationGap       float64
+	DemographicParityGap      core.JSONFloat `json:"demographic_parity_gap"`
+	DisparateImpactRatio      core.JSONFloat `json:"disparate_impact_ratio"`
+	EqualizedOddsGap          core.JSONFloat `json:"equalized_odds_gap"`
+	EqualOpportunityGap       core.JSONFloat `json:"equal_opportunity_gap"`
+	SubgroupFairnessViolation core.JSONFloat `json:"subgroup_fairness_violation"`
+	// GroupCalibrationGap is nil when Evaluate received no scores:
+	// calibration was not measured, as opposed to measured-as-zero.
+	GroupCalibrationGap *core.JSONFloat `json:"group_calibration_gap,omitempty"`
 }
 
 // Evaluate computes all metrics. scores may be nil, in which case the
-// calibration gap is reported as NaN.
+// calibration gap is omitted from the report (nil field), not faked with
+// a sentinel value.
 func Evaluate(groups []int, numGroups int, yTrue, yPred []int, scores []float64, nBins int) (Report, error) {
 	var r Report
-	var err error
-	if r.DemographicParityGap, err = DemographicParityGap(groups, numGroups, yPred); err != nil {
+	set := func(dst *core.JSONFloat, f func() (float64, error)) error {
+		v, err := f()
+		*dst = core.JSONFloat(v)
+		return err
+	}
+	if err := set(&r.DemographicParityGap, func() (float64, error) {
+		return DemographicParityGap(groups, numGroups, yPred)
+	}); err != nil {
 		return r, err
 	}
-	if r.DisparateImpactRatio, err = DisparateImpactRatio(groups, numGroups, yPred); err != nil {
+	if err := set(&r.DisparateImpactRatio, func() (float64, error) {
+		return DisparateImpactRatio(groups, numGroups, yPred)
+	}); err != nil {
 		return r, err
 	}
-	if r.EqualizedOddsGap, err = EqualizedOddsGap(groups, numGroups, yTrue, yPred); err != nil {
+	if err := set(&r.EqualizedOddsGap, func() (float64, error) {
+		return EqualizedOddsGap(groups, numGroups, yTrue, yPred)
+	}); err != nil {
 		return r, err
 	}
-	if r.EqualOpportunityGap, err = EqualOpportunityGap(groups, numGroups, yTrue, yPred); err != nil {
+	if err := set(&r.EqualOpportunityGap, func() (float64, error) {
+		return EqualOpportunityGap(groups, numGroups, yTrue, yPred)
+	}); err != nil {
 		return r, err
 	}
-	if r.SubgroupFairnessViolation, err = SubgroupFairnessViolation(groups, numGroups, yPred); err != nil {
+	if err := set(&r.SubgroupFairnessViolation, func() (float64, error) {
+		return SubgroupFairnessViolation(groups, numGroups, yPred)
+	}); err != nil {
 		return r, err
 	}
 	if scores == nil {
-		r.GroupCalibrationGap = math.NaN()
 		return r, nil
 	}
-	if r.GroupCalibrationGap, err = GroupCalibrationGap(groups, numGroups, yTrue, scores, nBins); err != nil {
+	gap, err := GroupCalibrationGap(groups, numGroups, yTrue, scores, nBins)
+	if err != nil {
 		return r, err
 	}
+	jf := core.JSONFloat(gap)
+	r.GroupCalibrationGap = &jf
 	return r, nil
 }

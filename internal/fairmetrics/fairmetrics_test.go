@@ -1,7 +1,9 @@
 package fairmetrics
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -138,19 +140,67 @@ func TestEvaluateAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.DemographicParityGap != 0.5 || math.Abs(r.DisparateImpactRatio-1.0/3) > 1e-12 {
+	if r.DemographicParityGap != 0.5 || math.Abs(float64(r.DisparateImpactRatio)-1.0/3) > 1e-12 {
 		t.Fatalf("report = %+v", r)
 	}
-	if r.GroupCalibrationGap < 0 {
+	if r.GroupCalibrationGap == nil {
+		t.Fatal("calibration gap missing despite scores")
+	}
+	if *r.GroupCalibrationGap < 0 {
 		t.Fatal("calibration gap negative")
 	}
-	// Without scores the calibration gap is NaN.
+	// Without scores calibration is not measured: the field is nil (and
+	// omitted from JSON), never a NaN sentinel.
 	r, err = Evaluate(demoGroups, 2, demoTrue, demoPred, nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !math.IsNaN(r.GroupCalibrationGap) {
-		t.Fatal("missing scores should yield NaN calibration gap")
+	if r.GroupCalibrationGap != nil {
+		t.Fatalf("missing scores should omit the calibration gap, got %v", *r.GroupCalibrationGap)
+	}
+}
+
+// TestReportJSONPresence pins the calibration field's presence
+// semantics at the wire: without scores the key is absent entirely (not
+// null, not NaN — encoding/json rejects bare NaN, which used to poison
+// any report embedding this type), and with scores it round-trips.
+func TestReportJSONPresence(t *testing.T) {
+	r, err := Evaluate(demoGroups, 2, demoTrue, demoPred, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("report without scores must marshal cleanly: %v", err)
+	}
+	if strings.Contains(string(b), "group_calibration_gap") {
+		t.Errorf("unmeasured calibration gap leaked into JSON: %s", b)
+	}
+	var decoded Report
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.GroupCalibrationGap != nil {
+		t.Errorf("round-trip invented a calibration gap: %v", *decoded.GroupCalibrationGap)
+	}
+
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.9, 0.4, 0.3, 0.1}
+	r, err = Evaluate(demoGroups, 2, demoTrue, demoPred, scores, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "group_calibration_gap") {
+		t.Errorf("measured calibration gap missing from JSON: %s", b)
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.GroupCalibrationGap == nil || *decoded.GroupCalibrationGap != *r.GroupCalibrationGap {
+		t.Errorf("calibration gap did not round-trip: %+v vs %+v", decoded.GroupCalibrationGap, r.GroupCalibrationGap)
 	}
 }
 

@@ -56,7 +56,23 @@ type Interval struct {
 // b, level, r) is deterministic and independent of both GOMAXPROCS and
 // workers.
 func EpsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
-	n, point, err := validateBootstrap(c, alpha, b, level)
+	return MetricBootstrap(ctx, core.DFEpsilon, c, alpha, b, level, r, workers)
+}
+
+// MetricBootstrap is EpsilonBootstrap generalized to any core.Metric:
+// the same pooled-buffer multinomial engine, RNG substream discipline
+// and percentile computation, with the metric's Eval replacing ε on each
+// replicate. A replicate whose table degenerates to fewer than two
+// supported groups scores the metric's WorstValue (for ε that is +Inf,
+// reproducing EpsilonBootstrap bit for bit); InfiniteShare counts the
+// non-finite replicates, which for bounded metrics is always 0.
+//
+// Determinism matches EpsilonBootstrap: for a given (metric, counts,
+// alpha, b, level, r) the interval is independent of GOMAXPROCS and
+// workers, and every metric bootstrapped with an identically-seeded RNG
+// sees exactly the same resampled tables.
+func MetricBootstrap(ctx context.Context, m core.Metric, c *core.Counts, alpha float64, b int, level float64, r *rng.RNG, workers int) (Interval, error) {
+	n, point, err := validateBootstrap(m, c, alpha, b, level)
 	if err != nil {
 		return Interval{}, err
 	}
@@ -98,19 +114,20 @@ func EpsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int,
 				return err
 			}
 		}
-		res, err := core.Epsilon(s.cpt)
+		res, err := m.Eval(s.cpt)
 		if err != nil {
 			if errors.Is(err, core.ErrDegenerateSupport) {
 				// The resample concentrated all mass in fewer than two
-				// groups: legitimately infinite ε, not a failure.
-				reps[i] = math.Inf(1)
+				// groups: legitimately the most-unfair representable
+				// value, not a failure.
+				reps[i] = m.WorstValue()
 				return nil
 			}
 			// Anything else is a real bug (invalid probabilities, shape
-			// mismatch) and must not be silently scored as +Inf.
+			// mismatch) and must not be silently scored as worst.
 			return err
 		}
-		reps[i] = res.Epsilon
+		reps[i] = res.Value
 		return nil
 	})
 	if err != nil {
@@ -122,7 +139,7 @@ func EpsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int,
 
 	infinite := 0
 	for _, v := range reps {
-		if math.IsInf(v, 1) {
+		if math.IsInf(v, 0) {
 			infinite++
 		}
 	}
@@ -146,7 +163,7 @@ func EpsilonBootstrap(ctx context.Context, c *core.Counts, alpha float64, b int,
 // engine (see BenchmarkEpsilonBootstrap) and is not intended for
 // production use.
 func EpsilonBootstrapSerialAlias(c *core.Counts, alpha float64, b int, level float64, r *rng.RNG) (Interval, error) {
-	n, point, err := validateBootstrap(c, alpha, b, level)
+	n, point, err := validateBootstrap(core.DFEpsilon, c, alpha, b, level)
 	if err != nil {
 		return Interval{}, err
 	}
@@ -205,8 +222,8 @@ func EpsilonBootstrapSerialAlias(c *core.Counts, alpha float64, b int, level flo
 
 // validateBootstrap checks the arguments shared by both bootstrap
 // implementations and returns the integer observation total plus the
-// point ε of the original table.
-func validateBootstrap(c *core.Counts, alpha float64, b int, level float64) (n int, point float64, err error) {
+// point metric value of the original table.
+func validateBootstrap(m core.Metric, c *core.Counts, alpha float64, b int, level float64) (n int, point float64, err error) {
 	if b <= 0 {
 		return 0, 0, fmt.Errorf("resample: need B > 0 replicates, got %d", b)
 	}
@@ -221,16 +238,16 @@ func validateBootstrap(c *core.Counts, alpha float64, b int, level float64) (n i
 	if math.Abs(total-float64(n)) > 1e-9 {
 		return 0, 0, fmt.Errorf("resample: bootstrap requires integer counts, total is %v", total)
 	}
-	point, err = pointEpsilon(c, alpha)
+	point, err = pointMetric(m, c, alpha)
 	if err != nil {
 		return 0, 0, err
 	}
 	return n, point, nil
 }
 
-// pointEpsilon is the ε of the original table under the selected
-// estimator.
-func pointEpsilon(c *core.Counts, alpha float64) (float64, error) {
+// pointMetric is the metric value of the original table under the
+// selected estimator.
+func pointMetric(m core.Metric, c *core.Counts, alpha float64) (float64, error) {
 	var (
 		cpt *core.CPT
 		err error
@@ -243,11 +260,11 @@ func pointEpsilon(c *core.Counts, alpha float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Epsilon(cpt)
+	res, err := m.Eval(cpt)
 	if err != nil {
 		return 0, err
 	}
-	return res.Epsilon, nil
+	return res.Value, nil
 }
 
 func percentile(sorted []float64, q float64) float64 {

@@ -941,7 +941,7 @@ func (inc *incEngine) ladderLocked() ([]core.SubsetEpsilon, error) {
 			}
 			g := pc / k
 			y := pc - g*k
-			cc := (g/nd.dropDiv*nd.dropStride + g%nd.dropStride) * k + y
+			cc := (g/nd.dropDiv*nd.dropStride+g%nd.dropStride)*k + y
 			t.addCell(cc, d)
 			if nd.out != nil {
 				nd.out.add(cc, d)

@@ -331,16 +331,19 @@ func (m *Monitor) reportLocked() (core.EpsilonResult, float64, error) {
 // epsilonOfSnapLocked converts the already-filled snap buffer to a CPT
 // and measures ε. repMu must be held.
 func (m *Monitor) epsilonOfSnapLocked() (core.EpsilonResult, error) {
-	if m.alpha > 0 {
-		if err := m.snap.SmoothedInto(m.cpt, m.alpha, false); err != nil {
-			return core.EpsilonResult{}, err
-		}
-	} else {
-		if err := m.snap.EmpiricalInto(m.cpt); err != nil {
-			return core.EpsilonResult{}, err
-		}
+	if err := m.snapToCPTLocked(); err != nil {
+		return core.EpsilonResult{}, err
 	}
 	return core.Epsilon(m.cpt)
+}
+
+// snapToCPTLocked converts the already-filled snap buffer to the pooled
+// CPT buffer under the monitor's estimator. repMu must be held.
+func (m *Monitor) snapToCPTLocked() error {
+	if m.alpha > 0 {
+		return m.snap.SmoothedInto(m.cpt, m.alpha, false)
+	}
+	return m.snap.EmpiricalInto(m.cpt)
 }
 
 // ensureInc attaches the incremental ε engine, enabling the per-shard
@@ -389,7 +392,11 @@ func (m *Monitor) EpsilonSubsets() ([]core.SubsetEpsilon, error) {
 
 // Alert describes a threshold crossing.
 type Alert struct {
-	// Epsilon is the estimate that crossed the threshold.
+	// Metric is the key of the fairness metric that breached; empty for
+	// the primary incremental ε threshold.
+	Metric string
+	// Epsilon is the estimate that crossed the threshold — the breaching
+	// metric's value when Metric is non-empty.
 	Epsilon float64
 	// Threshold is the configured limit.
 	Threshold float64
@@ -399,32 +406,58 @@ type Alert struct {
 	SeenAt int
 }
 
-// Watch wraps a Monitor with a threshold; ObserveChecked returns a
-// non-nil Alert whenever the running ε estimate is above the threshold
-// and at least minEffective mass has accumulated (avoiding cold-start
-// noise).
+// MetricThreshold pairs a fairness metric with its alert limit. A value
+// breaches on the metric's unfair side (above for higher-is-worse
+// metrics like ε or gaps, below for ratio metrics — e.g. a worst-case
+// positive-rate ratio under the 0.8 disparate-impact line).
+type MetricThreshold struct {
+	Metric    core.Metric
+	Threshold float64
+}
+
+// Watch wraps a Monitor with thresholds; ObserveChecked returns a
+// non-nil Alert whenever the running ε estimate is above Threshold — or
+// any configured metric crosses its own limit — and at least
+// minEffective mass has accumulated (avoiding cold-start noise).
 type Watch struct {
 	*Monitor
 	Threshold    float64
 	MinEffective float64
+	// Metrics are additional per-metric limits, checked in order after
+	// the ε threshold; the first breach wins.
+	Metrics []MetricThreshold
 }
 
 // NewWatch builds a threshold watch around a monitor. Building a watch
 // attaches the monitor's incremental ε engine: every check drains the
 // cells ingested since the last one instead of re-merging all shards, so
 // per-batch checked ingest stays within a small factor of unchecked.
-func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
+//
+// Additional metric thresholds are optional. Unlike ε they are not
+// maintained incrementally: each check with metrics configured pays one
+// reporting-snapshot merge plus an Eval per metric — the documented cost
+// of multi-metric alerting. threshold may be 0 (disabling the ε check)
+// only when at least one metric threshold is configured.
+func NewWatch(m *Monitor, threshold, minEffective float64, metrics ...MetricThreshold) (*Watch, error) {
 	if m == nil {
 		return nil, fmt.Errorf("stream: nil monitor")
 	}
-	if !(threshold > 0) {
+	if !(threshold > 0) && (len(metrics) == 0 || threshold != 0) {
 		return nil, fmt.Errorf("stream: threshold must be positive, got %v", threshold)
 	}
 	if minEffective < 0 {
 		return nil, fmt.Errorf("stream: negative minEffective")
 	}
+	for _, mt := range metrics {
+		if mt.Metric == nil {
+			return nil, fmt.Errorf("stream: nil metric in threshold")
+		}
+		if err := mt.Metric.Applicable(m.space, m.outcomes); err != nil {
+			return nil, fmt.Errorf("stream: metric %s not applicable: %w", mt.Metric.Key(), err)
+		}
+	}
 	m.ensureInc()
-	return &Watch{Monitor: m, Threshold: threshold, MinEffective: minEffective}, nil
+	return &Watch{Monitor: m, Threshold: threshold, MinEffective: minEffective, Metrics: metrics}, nil
 }
 
 // ObserveChecked records a decision and evaluates the threshold.
@@ -476,26 +509,82 @@ func (w *Watch) check() (*Alert, float64, error) {
 		inc.mu.Unlock()
 		return nil, effective, nil
 	}
-	res, err := inc.epsilonLocked(now)
+	var res core.EpsilonResult
+	var err error
+	if w.Threshold > 0 {
+		res, err = inc.epsilonLocked(now)
+	}
 	inc.mu.Unlock()
-	if err != nil {
-		// A degenerate table (fewer than two populated groups yet) has no
-		// pairs to compare: no alert, not an error. Anything else is a
-		// real failure and must reach the caller.
-		if errors.Is(err, core.ErrDegenerateSupport) {
-			return nil, effective, nil
+	if w.Threshold > 0 {
+		if err != nil {
+			// A degenerate table (fewer than two populated groups yet) has
+			// no pairs to compare: no alert, not an error. Anything else is
+			// a real failure and must reach the caller.
+			if !errors.Is(err, core.ErrDegenerateSupport) {
+				return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
+			}
+		} else if res.Epsilon > w.Threshold {
+			return &Alert{
+				Epsilon:   res.Epsilon,
+				Threshold: w.Threshold,
+				Witness:   res.Witness,
+				SeenAt:    w.Seen(),
+			}, effective, nil
 		}
-		return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
 	}
-	if res.Epsilon > w.Threshold {
-		return &Alert{
-			Epsilon:   res.Epsilon,
-			Threshold: w.Threshold,
-			Witness:   res.Witness,
-			SeenAt:    w.Seen(),
-		}, effective, nil
+	alert, err := w.metricAlert()
+	if err != nil {
+		return nil, effective, err
 	}
-	return nil, effective, nil
+	return alert, effective, nil
+}
+
+// metricAlert evaluates the configured per-metric thresholds against a
+// fresh reporting snapshot, returning the first breach in configuration
+// order. Unlike the ε path this costs a shard merge; it is a no-op when
+// no metric thresholds are configured.
+func (w *Watch) metricAlert() (*Alert, error) {
+	if len(w.Metrics) == 0 {
+		return nil, nil
+	}
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
+	if err := w.eng.snapshotInto(w.snap, w.ticket.Load()); err != nil {
+		return nil, fmt.Errorf("stream: metric check: %w", err)
+	}
+	return w.metricAlertLocked()
+}
+
+// metricAlertLocked runs the per-metric threshold checks over the
+// already-filled snap buffer. repMu must be held.
+func (w *Watch) metricAlertLocked() (*Alert, error) {
+	if len(w.Metrics) == 0 {
+		return nil, nil
+	}
+	if err := w.snapToCPTLocked(); err != nil {
+		return nil, fmt.Errorf("stream: metric check: %w", err)
+	}
+	for _, mt := range w.Metrics {
+		res, err := mt.Metric.Eval(w.cpt)
+		if err != nil {
+			// Degenerate tables have no pairs to compare under any metric:
+			// no alert, not an error (mirroring the ε path).
+			if errors.Is(err, core.ErrDegenerateSupport) {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("stream: metric check %s: %w", mt.Metric.Key(), err)
+		}
+		if core.MetricBreached(mt.Metric, res.Value, mt.Threshold) {
+			return &Alert{
+				Metric:    mt.Metric.Key(),
+				Epsilon:   res.Value,
+				Threshold: mt.Threshold,
+				Witness:   res.Witness,
+				SeenAt:    w.Seen(),
+			}, nil
+		}
+	}
+	return nil, nil
 }
 
 // CheckFull evaluates the threshold the pre-incremental way: one full
@@ -515,21 +604,29 @@ func (w *Watch) CheckFull() (*Alert, float64, error) {
 		w.repMu.Unlock()
 		return nil, effective, nil
 	}
-	res, err := w.epsilonOfSnapLocked()
+	if w.Threshold > 0 {
+		res, err := w.epsilonOfSnapLocked()
+		if err != nil {
+			w.repMu.Unlock()
+			if errors.Is(err, core.ErrDegenerateSupport) {
+				return nil, effective, nil
+			}
+			return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
+		}
+		if res.Epsilon > w.Threshold {
+			w.repMu.Unlock()
+			return &Alert{
+				Epsilon:   res.Epsilon,
+				Threshold: w.Threshold,
+				Witness:   res.Witness,
+				SeenAt:    w.Seen(),
+			}, effective, nil
+		}
+	}
+	alert, err := w.metricAlertLocked()
 	w.repMu.Unlock()
 	if err != nil {
-		if errors.Is(err, core.ErrDegenerateSupport) {
-			return nil, effective, nil
-		}
-		return nil, effective, fmt.Errorf("stream: threshold check: %w", err)
+		return nil, effective, err
 	}
-	if res.Epsilon > w.Threshold {
-		return &Alert{
-			Epsilon:   res.Epsilon,
-			Threshold: w.Threshold,
-			Witness:   res.Witness,
-			SeenAt:    w.Seen(),
-		}, effective, nil
-	}
-	return nil, effective, nil
+	return alert, effective, nil
 }

@@ -2,6 +2,7 @@ package fairness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -26,7 +27,18 @@ type Monitor struct {
 	space    *Space
 	outcomes []string
 	alpha    float64
+	// ladderHook, when non-nil, replaces the incremental subset-ladder
+	// source in Audit. Tests use it to force incremental failures and pin
+	// that the fallback is visible in the report, never silent.
+	ladderHook func() ([]SubsetEpsilon, error)
 }
+
+// ErrIncrementalUnavailable is returned by the incremental subset-ladder
+// path for monitors whose window policy cannot maintain it (exponential
+// decay: the smoothed estimator is not invariant under decay's uniform
+// rescale). Monitor.Audit falls back to the snapshot ladder and records
+// the distinct reason in the report's ladder_fallback_reason field.
+var ErrIncrementalUnavailable = stream.ErrIncrementalUnavailable
 
 // NewMonitor creates an exponentially-decayed streaming monitor.
 // halfLife is the number of observations after which an old
@@ -111,26 +123,38 @@ func (m *Monitor) Snapshot() (*Counts, error) { return m.inner.Snapshot() }
 // allocating; dst must match the monitor's space and outcomes.
 func (m *Monitor) SnapshotInto(dst *Counts) error { return m.inner.SnapshotInto(dst) }
 
-// Alert describes a threshold crossing reported by a Watch.
+// Alert describes a threshold crossing reported by a Watch. Its Metric
+// field names the breaching metric's key; it is empty for the primary
+// incremental ε threshold.
 type Alert = stream.Alert
 
-// Watch wraps a Monitor with a threshold: ObserveChecked returns a
-// non-nil Alert whenever the running ε estimate exceeds the threshold
-// and at least minEffective effective mass has accumulated (avoiding
-// cold-start noise). The embedded Monitor remains fully usable,
-// including Audit.
+// MetricThreshold pairs a fairness metric with its alert limit for
+// NewWatch. A value breaches on the metric's unfair side: above the
+// limit for higher-is-worse metrics (ε, gaps), below it for ratio
+// metrics (e.g. WorstRatio under the 0.8 disparate-impact line).
+type MetricThreshold = stream.MetricThreshold
+
+// Watch wraps a Monitor with thresholds: ObserveChecked returns a
+// non-nil Alert whenever the running ε estimate exceeds the threshold —
+// or any configured metric crosses its own limit — and at least
+// minEffective effective mass has accumulated (avoiding cold-start
+// noise). The embedded Monitor remains fully usable, including Audit.
 type Watch struct {
 	*Monitor
 	inner *stream.Watch
 }
 
 // NewWatch builds a threshold watch around a monitor. threshold must be
-// positive and minEffective non-negative.
-func NewWatch(m *Monitor, threshold, minEffective float64) (*Watch, error) {
+// positive and minEffective non-negative. Optional per-metric thresholds
+// extend alerting beyond ε; unlike ε they are evaluated from a reporting
+// snapshot per check (the documented cost of multi-metric alerting), and
+// threshold may be 0 — disabling the ε check — when at least one metric
+// threshold is given.
+func NewWatch(m *Monitor, threshold, minEffective float64, metrics ...MetricThreshold) (*Watch, error) {
 	if m == nil {
 		return nil, fmt.Errorf("fairness: NewWatch: nil monitor")
 	}
-	inner, err := stream.NewWatch(m.inner, threshold, minEffective)
+	inner, err := stream.NewWatch(m.inner, threshold, minEffective, metrics...)
 	if err != nil {
 		return nil, err
 	}
@@ -213,12 +237,24 @@ func (m *Monitor) Audit(ctx context.Context, opts ...Option) (*Report, error) {
 		return nil, err
 	}
 	if auditor.cfg.subsets && auditor.cfg.alpha == m.alpha {
-		// Any failure (exponential policy, a degenerate subset, an
-		// oversized lattice) falls back to the snapshot ladder so error
-		// reporting is identical to the pre-incremental path.
-		if ladder, lerr := m.inner.EpsilonSubsets(); lerr == nil {
+		ladderOf := m.inner.EpsilonSubsets
+		if m.ladderHook != nil {
+			ladderOf = m.ladderHook
+		}
+		ladder, lerr := ladderOf()
+		if lerr == nil {
 			return auditor.runWithLadder(ctx, snap, ladder)
 		}
+		// The fallback to the snapshot ladder keeps the audit serviceable
+		// (error reporting identical to the pre-incremental path), but it
+		// must be visible: the report records the source and the reason,
+		// with ErrIncrementalUnavailable (a policy property, expected for
+		// exponential decay) distinguished from genuine failures.
+		reason := "incremental ladder failed: " + lerr.Error()
+		if errors.Is(lerr, ErrIncrementalUnavailable) {
+			reason = "incremental ladder unavailable for this window policy: " + lerr.Error()
+		}
+		return auditor.runSnapshotLadder(ctx, snap, reason)
 	}
-	return auditor.Run(ctx, snap)
+	return auditor.runSnapshotLadder(ctx, snap, "")
 }

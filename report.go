@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strconv"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/core"
 )
 
 // ReportSchemaVersion identifies the JSON report schema. It is embedded
@@ -15,51 +16,24 @@ import (
 // breaking changes (renamed/removed keys or changed value semantics);
 // additive fields do not bump it. Consumers should reject versions they
 // do not understand.
-const ReportSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial ε-only schema.
+//	2 — pluggable metrics: adds "ladder_source"/"ladder_fallback_reason"
+//	    (how the subset ladder was computed and why a fallback happened)
+//	    and the per-metric "metrics" section. Existing ε fields are
+//	    unchanged, but v1 consumers that reject unknown versions must opt
+//	    in, hence the bump.
+const ReportSchemaVersion = 2
 
 // JSONFloat is a float64 whose JSON form survives the non-finite values
 // ε analysis legitimately produces (a zero probability against a
 // positive one yields ε = +Inf). Finite values marshal as plain JSON
 // numbers; +Inf, -Inf and NaN marshal as the strings "inf", "-inf" and
-// "nan", and unmarshal back from either form.
-type JSONFloat float64
-
-// MarshalJSON implements json.Marshaler.
-func (f JSONFloat) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	switch {
-	case math.IsInf(v, 1):
-		return []byte(`"inf"`), nil
-	case math.IsInf(v, -1):
-		return []byte(`"-inf"`), nil
-	case math.IsNaN(v):
-		return []byte(`"nan"`), nil
-	}
-	return json.Marshal(v)
-}
-
-// UnmarshalJSON implements json.Unmarshaler, accepting a JSON number or
-// one of the sentinel strings "inf", "-inf", "nan".
-func (f *JSONFloat) UnmarshalJSON(b []byte) error {
-	s := strings.TrimSpace(string(b))
-	switch s {
-	case `"inf"`:
-		*f = JSONFloat(math.Inf(1))
-		return nil
-	case `"-inf"`:
-		*f = JSONFloat(math.Inf(-1))
-		return nil
-	case `"nan"`:
-		*f = JSONFloat(math.NaN())
-		return nil
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return fmt.Errorf("fairness: invalid JSONFloat %s", s)
-	}
-	*f = JSONFloat(v)
-	return nil
-}
+// "nan", and unmarshal back from either form. It is an alias of
+// core.JSONFloat so internal schema types share the convention.
+type JSONFloat = core.JSONFloat
 
 // ReportWitness names the outcome and the most/least favored
 // intersectional groups achieving a measured ε (human-readable labels,
@@ -164,6 +138,50 @@ type EqualizedOddsReport struct {
 	PerLabel []StratumReport `json:"per_label"`
 }
 
+// Ladder-source values recorded in Report.LadderSource by Monitor.Audit.
+// A report produced by a plain Auditor.Run omits the field: the ladder
+// is always computed from the snapshot and there is nothing to fall
+// back from.
+const (
+	// LadderSourceIncremental: the subset ladder came from the monitor's
+	// incremental maintenance structures (O(changed cells) per update).
+	LadderSourceIncremental = "incremental"
+	// LadderSourceSnapshot: the ladder was recomputed from the counts
+	// snapshot. When this was a fallback from the incremental path,
+	// LadderFallbackReason says why.
+	LadderSourceSnapshot = "snapshot"
+)
+
+// MetricLadderRow is one row of a per-metric subset ladder, sorted from
+// least to most unfair under the metric's orientation with lexicographic
+// attribute-subset tie-breaking.
+type MetricLadderRow struct {
+	Attrs   []string      `json:"attrs"`
+	Value   JSONFloat     `json:"value"`
+	Finite  bool          `json:"finite"`
+	Witness ReportWitness `json:"witness"`
+}
+
+// MetricReport is the audit result for one requested fairness metric
+// beyond the always-present ε: the full-intersection value with witness,
+// the per-subset ladder, and any requested bootstrap/credible
+// uncertainty computed by the same pooled-CPT resampling engines as ε
+// (identical resampled tables — each metric's engine is seeded with the
+// same seed).
+type MetricReport struct {
+	Key         string `json:"key"`
+	Description string `json:"description"`
+	// HigherIsWorse orients Value and the ladder: false for ratio-style
+	// metrics where small values are the unfair ones.
+	HigherIsWorse bool              `json:"higher_is_worse"`
+	Value         JSONFloat         `json:"value"`
+	Finite        bool              `json:"finite"`
+	Witness       ReportWitness     `json:"witness"`
+	Ladder        []MetricLadderRow `json:"ladder,omitempty"`
+	Bootstrap     *BootstrapReport  `json:"bootstrap,omitempty"`
+	Credible      *CredibleReport   `json:"credible,omitempty"`
+}
+
 // Report is the complete result of one Auditor.Run: the ε ladder,
 // witnesses, interpretation, uncertainty (bootstrap and/or credible),
 // Simpson reversals, repair plan and equalized-odds analysis the options
@@ -188,10 +206,20 @@ type Report struct {
 	Witness        ReportWitness        `json:"witness"`
 	Interpretation ReportInterpretation `json:"interpretation"`
 	// SubsetBound is Theorem 3.2's 2ε guarantee for every subset.
-	SubsetBound   JSONFloat            `json:"subset_bound"`
-	Ladder        []LadderRow          `json:"ladder"`
-	Bootstrap     *BootstrapReport     `json:"bootstrap,omitempty"`
-	Credible      *CredibleReport      `json:"credible,omitempty"`
+	SubsetBound JSONFloat   `json:"subset_bound"`
+	Ladder      []LadderRow `json:"ladder"`
+	// LadderSource records how Monitor.Audit computed the ladder
+	// (LadderSourceIncremental or LadderSourceSnapshot); empty for plain
+	// Auditor.Run reports. LadderFallbackReason is set only when the
+	// incremental path was attempted and failed, making the fallback
+	// visible instead of silent.
+	LadderSource         string           `json:"ladder_source,omitempty"`
+	LadderFallbackReason string           `json:"ladder_fallback_reason,omitempty"`
+	Bootstrap            *BootstrapReport `json:"bootstrap,omitempty"`
+	Credible             *CredibleReport  `json:"credible,omitempty"`
+	// Metrics holds the additional fairness metrics requested via
+	// WithMetrics, in request order.
+	Metrics       []MetricReport       `json:"metrics,omitempty"`
 	Reversals     []ReversalReport     `json:"reversals,omitempty"`
 	Repair        *RepairReport        `json:"repair,omitempty"`
 	EqualizedOdds *EqualizedOddsReport `json:"equalized_odds,omitempty"`
@@ -257,6 +285,43 @@ func (r *Report) RenderText(w io.Writer) error {
 			c.Samples, c.PriorAlpha, 100*c.Level,
 			fmtEps(float64(c.Lo)), fmtEps(float64(c.Hi)),
 			fmtEps(float64(c.Mean)), fmtEps(float64(c.Sup)))
+	}
+
+	for i := range r.Metrics {
+		m := &r.Metrics[i]
+		orient := "higher is worse"
+		if !m.HigherIsWorse {
+			orient = "lower is worse"
+		}
+		fmt.Fprintf(w, "\nmetric %s (%s): %s", m.Key, orient, fmtEps(float64(m.Value)))
+		if m.Witness.Outcome != "" {
+			fmt.Fprintf(w, "  witness: outcome %s, most favored %s, least favored %s",
+				m.Witness.Outcome, m.Witness.MostFavored, m.Witness.LeastFavored)
+		}
+		fmt.Fprintln(w)
+		if len(m.Ladder) > 0 {
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  protected attributes\tvalue\twitness outcome\tmost favored\tleast favored")
+			for _, row := range m.Ladder {
+				fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\n",
+					strings.Join(row.Attrs, ","), fmtEps(float64(row.Value)),
+					row.Witness.Outcome, row.Witness.MostFavored, row.Witness.LeastFavored)
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		}
+		if m.Bootstrap != nil {
+			fmt.Fprintf(w, "  bootstrap (%d replicates, %.0f%% level): value in [%s, %s]\n",
+				m.Bootstrap.Replicates, 100*m.Bootstrap.Level,
+				fmtEps(float64(m.Bootstrap.Lo)), fmtEps(float64(m.Bootstrap.Hi)))
+		}
+		if m.Credible != nil {
+			fmt.Fprintf(w, "  posterior (%d samples, %.0f%% credible): value in [%s, %s], mean %s\n",
+				m.Credible.Samples, 100*m.Credible.Level,
+				fmtEps(float64(m.Credible.Lo)), fmtEps(float64(m.Credible.Hi)),
+				fmtEps(float64(m.Credible.Mean)))
+		}
 	}
 
 	for _, rev := range r.Reversals {

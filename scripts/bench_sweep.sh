@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Open-loop rate sweep: boots a real dfserve on loopback and drives it
 # with dfload at a ladder of offered rates, recording achieved
-# throughput and p99 latency at each step as BENCH_sweep.json. The
-# artifact's headline number is the knee: the first offered rate the
-# server fails to track (achieved < 90% of offered), i.e. the serving
-# path's capacity under the benchmark mix. Because dfload schedules
+# throughput, error counts and p99 latency at each step as
+# BENCH_sweep.json. The artifact's headline number is the knee: the
+# first offered rate the server fails to track — achieved below 90% of
+# offered, or more than 1% of responses erroring/503ing. Only
+# successful responses count toward achieved_rps: a server returning
+# errors at line rate is not keeping up, and before this accounting an
+# error-heavy rung could sum to a healthy-looking throughput and push
+# the reported knee past the real capacity. Because dfload schedules
 # sends open-loop, latency above the knee reflects queueing delay
 # honestly instead of being hidden by coordinated omission.
 #
@@ -52,7 +56,12 @@ done
 
 # One dfload pass per offered rate; binary observe-heavy mix (the
 # serving path's steady-state shape). Each pass's artifact is reduced to
-# one sweep row: summed achieved rps and the worst per-endpoint p99.
+# one sweep row: summed success-only rps, total request/error counts and
+# the worst per-endpoint p99. Per-endpoint fields arrive in schema order
+# (endpoint, requests, errors, status_503, ..., throughput_rps), so the
+# awk carries block-local counters opened by "endpoint" and folded in at
+# "throughput_rps"; the config section's own "requests" line precedes
+# any "endpoint" and is ignored.
 rows="$work/rows.json"
 : > "$rows"
 for rate in $rates; do
@@ -63,11 +72,21 @@ for rate in $rates; do
     -mix 'observe=0.85,decide=0.1,report=0.05' \
     -encoding binary -format json -out "$step"
   awk -v offered="$rate" '
-/"throughput_rps":/ { gsub(/,/, "", $2); achieved += $2 + 0 }
+/"endpoint":/       { inblock = 1; req = err = s503 = 0 }
+/"requests":/       { if (inblock) { gsub(/,/, "", $2); req = $2 + 0 } }
+/"errors":/         { if (inblock) { gsub(/,/, "", $2); err = $2 + 0 } }
+/"status_503":/     { if (inblock) { gsub(/,/, "", $2); s503 = $2 + 0 } }
+/"throughput_rps":/ {
+  if (!inblock) next
+  gsub(/,/, "", $2)
+  if (req > 0) achieved += ($2 + 0) * (req - err - s503) / req
+  requests += req; errors += err; unavailable += s503
+  inblock = 0
+}
 /"p99_ms":/         { gsub(/,/, "", $2); if ($2 + 0 > p99) p99 = $2 + 0 }
 END {
-  printf "  {\"offered_rps\": %s, \"achieved_rps\": %.1f, \"p99_ms\": %.3f}\n",
-    offered, achieved, p99
+  printf "  {\"offered_rps\": %s, \"achieved_rps\": %.1f, \"requests\": %d, \"errors\": %d, \"unavailable\": %d, \"p99_ms\": %.3f}\n",
+    offered, achieved, requests, errors, unavailable, p99
 }' "$step" >> "$rows"
 done
 
@@ -76,13 +95,16 @@ wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 
 # Assemble the artifact and locate the knee: the first offered rate
-# whose achieved throughput falls below 90% of offered. A sweep that
+# whose success-only throughput falls below 90% of offered, or whose
+# error share (errors + 503s over requests) exceeds 1% — a rung the
+# server survives only by shedding load is past the knee. A sweep that
 # never saturates reports knee_rps null (raise RATES to find it).
 awk '
 BEGIN { print "{"; print "  \"steps\": [" }
 {
   offered = $2 + 0; achieved = $4 + 0
-  if (knee == "" && achieved < 0.9 * offered) knee = offered
+  req = $6 + 0; bad = $8 + $10 + 0
+  if (knee == "" && (achieved < 0.9 * offered || (req > 0 && bad > 0.01 * req))) knee = offered
   rows[++n] = $0
 }
 END {
